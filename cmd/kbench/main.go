@@ -1,0 +1,76 @@
+// Command kbench regenerates the paper's tables and figures on the
+// synthetic substrate.
+//
+// Usage:
+//
+//	kbench -all              # every experiment (default)
+//	kbench -table 1|2|3      # a specific table
+//	kbench -fig 9            # the Figure 9 panels (with Table 2)
+//	kbench -rq 1|2|3|4       # a specific research question
+//	kbench -scale 0.25       # shrink the corpus for quick runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"knighter/internal/eval"
+)
+
+func main() {
+	all := flag.Bool("all", false, "run every experiment")
+	table := flag.Int("table", 0, "regenerate table 1, 2, or 3")
+	fig := flag.Int("fig", 0, "regenerate figure 9")
+	rq := flag.Int("rq", 0, "run research question 1-4")
+	scale := flag.Float64("scale", 1.0, "corpus scale factor")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	flag.Parse()
+
+	if !*all && *table == 0 && *fig == 0 && *rq == 0 {
+		*all = true
+	}
+
+	cfg := eval.DefaultConfig()
+	cfg.CorpusScale = *scale
+	cfg.CorpusSeed = *seed
+	start := time.Now()
+	h, err := eval.NewHarness(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kbench:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("corpus: %d files, %d seeded bugs, %d bait functions (built in %s)\n\n",
+		len(h.Corpus.Files), len(h.Corpus.Bugs), len(h.Corpus.Baits), time.Since(start).Round(time.Millisecond))
+
+	needT1 := *all || *table == 1 || *table == 2 || *fig == 9 || *rq == 1 || *rq == 2 || *rq == 3 || *rq == 4
+	var t1 *eval.Table1Result
+	if needT1 {
+		t1 = h.RunTable1()
+	}
+	if *all || *table == 1 || *rq == 1 {
+		fmt.Println(t1.Render())
+	}
+
+	var bugs *eval.BugDetectionResult
+	if *all || *table == 2 || *fig == 9 || *rq == 2 || *rq == 3 {
+		bugs = h.RunBugDetection(t1.Outcomes)
+		fmt.Println(bugs.Render(h.Corpus))
+	}
+	if *all || *rq == 3 {
+		orth, err := h.RunOrthogonality(bugs)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kbench:", err)
+			os.Exit(1)
+		}
+		fmt.Println(orth.Render())
+	}
+	if *all || *rq == 4 {
+		fmt.Println(h.RunTriageEval(t1.Outcomes).Render())
+	}
+	if *all || *table == 3 {
+		fmt.Println(h.RunAblation().Render())
+	}
+	fmt.Printf("total wall time: %s\n", time.Since(start).Round(time.Millisecond))
+}

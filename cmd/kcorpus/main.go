@@ -1,0 +1,89 @@
+// Command kcorpus generates and inspects the synthetic kernel corpus.
+//
+// Usage:
+//
+//	kcorpus -stats                 # corpus shape summary
+//	kcorpus -dump /tmp/kernel      # write the tree to disk
+//	kcorpus -bugs                  # print the ground-truth bug ledger
+//	kcorpus -cat drivers/spi/...   # print one generated file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"knighter/internal/kernel"
+)
+
+func main() {
+	stats := flag.Bool("stats", false, "print corpus statistics")
+	dump := flag.String("dump", "", "write the corpus tree under this directory")
+	bugs := flag.Bool("bugs", false, "print the ground-truth bug ledger")
+	baits := flag.Bool("baits", false, "print the planted FP-bait ledger")
+	cat := flag.String("cat", "", "print one generated file by path")
+	commits := flag.Bool("commits", false, "print the benchmark commit dataset")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	flag.Parse()
+
+	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
+
+	switch {
+	case *stats:
+		files, lines := 0, 0
+		perSub := map[string]int{}
+		for _, f := range corpus.Files {
+			files++
+			lines += strings.Count(f.Src, "\n")
+			perSub[f.Subsystem]++
+		}
+		fmt.Printf("files: %d   lines: %d   seeded bugs: %d   bait functions: %d\n",
+			files, lines, len(corpus.Bugs), len(corpus.Baits))
+		for sub, n := range perSub {
+			fmt.Printf("  %-10s %d files\n", sub, n)
+		}
+	case *dump != "":
+		for _, f := range corpus.Files {
+			path := filepath.Join(*dump, f.Path)
+			if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(path, []byte(f.Src), 0o644); err != nil {
+				fatal(err)
+			}
+		}
+		fmt.Printf("wrote %d files under %s\n", len(corpus.Files), *dump)
+	case *bugs:
+		for _, b := range corpus.Bugs {
+			fmt.Printf("%s %-18s %-20s %s:%s (introduced %s)\n",
+				b.ID, b.Class, b.Flavor, b.File, b.Func, b.Introduced.Format("2006-01-02"))
+		}
+	case *baits:
+		for _, b := range corpus.Baits {
+			fmt.Printf("%-18s %-20s %s:%s\n", b.Kind, b.Flavor, b.File, b.Func)
+		}
+	case *cat != "":
+		for _, f := range corpus.Files {
+			if f.Path == *cat {
+				fmt.Print(f.Src)
+				return
+			}
+		}
+		fatal(fmt.Errorf("no such file %q in the corpus", *cat))
+	case *commits:
+		store := kernel.BuildHandCommits(11)
+		for _, c := range store.All() {
+			fmt.Printf("%s %-18s %-22s %s\n", c.ID, c.Class, c.Flavor, c.Subject)
+		}
+	default:
+		flag.Usage()
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kcorpus:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,123 @@
+// Command knighter runs the checker-synthesis pipeline (Algorithm 1 +
+// refinement) on commits from the benchmark dataset and prints every
+// intermediate artifact: the patch, the inferred bug pattern, the plan,
+// the synthesized checker DSL, validation counts, and the refinement
+// outcome.
+//
+// Usage:
+//
+//	knighter -list                 # list the benchmark commits
+//	knighter -commit <id-prefix>   # run the pipeline on one commit
+//	knighter -class NPD            # run on every commit of a class
+//	knighter -show-patch           # include the unified diff
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"knighter/internal/kernel"
+	"knighter/internal/llm"
+	"knighter/internal/refine"
+	"knighter/internal/scan"
+	"knighter/internal/synth"
+	"knighter/internal/triage"
+	"knighter/internal/vcs"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list benchmark commits")
+	commitID := flag.String("commit", "", "commit id prefix to synthesize a checker for")
+	class := flag.String("class", "", "synthesize checkers for every commit of this class")
+	showPatch := flag.Bool("show-patch", false, "print the unified diff")
+	noRefine := flag.Bool("no-refine", false, "skip the corpus refinement phase")
+	corpusSeed := flag.Int64("corpus-seed", 1, "corpus generation seed")
+	commitSeed := flag.Int64("commit-seed", 11, "commit dataset seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale for the refinement scan")
+	flag.Parse()
+
+	store := kernel.BuildHandCommits(*commitSeed)
+	if *list {
+		for _, c := range store.All() {
+			fmt.Printf("%s  %-18s %-22s %s\n", c.ID, c.Class, c.Flavor, c.Subject)
+		}
+		return
+	}
+
+	var targets []*vcs.Commit
+	for _, c := range store.All() {
+		if *commitID != "" && strings.HasPrefix(c.ID, *commitID) {
+			targets = append(targets, c)
+		}
+		if *class != "" && c.Class == *class {
+			targets = append(targets, c)
+		}
+	}
+	if len(targets) == 0 {
+		fmt.Fprintln(os.Stderr, "knighter: no matching commits (use -list, -commit <id>, or -class <name>)")
+		os.Exit(1)
+	}
+
+	model := llm.NewOracle(llm.O3Mini)
+	pipe := synth.NewPipeline(model, synth.Options{})
+	var loop *refine.Loop
+	if !*noRefine {
+		corpus := kernel.Generate(kernel.Config{Seed: *corpusSeed, Scale: *scale})
+		cb, err := scan.NewCodebase(corpus)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "knighter:", err)
+			os.Exit(1)
+		}
+		loop = refine.NewLoop(cb, triage.NewAgent(corpus), model, pipe.Val, refine.Options{})
+	}
+
+	for _, c := range targets {
+		runOne(pipe, loop, c, *showPatch)
+	}
+}
+
+func runOne(pipe *synth.Pipeline, loop *refine.Loop, c *vcs.Commit, showPatch bool) {
+	fmt.Printf("=== commit %s (%s / %s)\n%s\n\n", c.ID, c.Class, c.Flavor, c.Message())
+	if showPatch {
+		fmt.Println(c.Diff())
+	}
+	out := pipe.GenChecker(c)
+	if out.Pattern != nil {
+		fmt.Println("-- bug pattern --")
+		fmt.Println(out.Pattern.Text)
+	}
+	if out.Plan != nil && len(out.Plan.Steps) > 0 {
+		fmt.Println("\n-- plan --")
+		fmt.Println(out.Plan.Text())
+	}
+	if !out.Valid {
+		fmt.Printf("\nsynthesis FAILED after %d iterations (%d failed attempts)\n\n", out.Iterations, len(out.Failed))
+		for _, f := range out.Failed {
+			fmt.Printf("  iteration %d: %s\n", f.Iteration, f.Symptom)
+		}
+		return
+	}
+	fmt.Printf("\n-- checker (valid after %d iteration(s); N_buggy=%d, N_patched=%d) --\n",
+		out.Iterations, out.NBuggy, out.NPatched)
+	fmt.Println(out.Spec.String())
+	if loop == nil {
+		return
+	}
+	rr := loop.Run(c, out.Spec)
+	fmt.Printf("-- refinement: %s after %d round(s), %d accepted step(s); final scan: %d report(s) --\n",
+		rr.Disposition, rr.Rounds, rr.Steps, len(rr.FinalReports))
+	if rr.Steps > 0 {
+		fmt.Println("\n-- refined checker --")
+		fmt.Println(rr.Spec.String())
+	}
+	max := len(rr.FinalReports)
+	if max > 5 {
+		max = 5
+	}
+	for _, r := range rr.FinalReports[:max] {
+		fmt.Println("  " + r.String())
+	}
+	fmt.Println()
+}

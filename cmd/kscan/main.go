@@ -1,0 +1,117 @@
+// Command kscan runs checker-DSL programs over code: either the built-in
+// synthetic kernel corpus or mini-C files on disk.
+//
+// Usage:
+//
+//	kscan -checker npd.ck                 # scan the synthetic corpus
+//	kscan -checker npd.ck file.c ...      # scan specific files
+//	kscan -checker npd.ck -triage         # label reports with the triage agent
+//	kscan -smatch                         # run the baseline analyzer instead
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"knighter/internal/checker"
+	"knighter/internal/ckdsl"
+	"knighter/internal/engine"
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+	"knighter/internal/scan"
+	"knighter/internal/smatch"
+	"knighter/internal/triage"
+)
+
+func main() {
+	checkerPath := flag.String("checker", "", "path to a checker DSL file")
+	runSmatch := flag.Bool("smatch", false, "run the Smatch-analog baseline instead of a checker")
+	doTriage := flag.Bool("triage", false, "classify reports with the triage agent")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	maxReports := flag.Int("max-reports", 0, "cap collected reports (0 = unlimited)")
+	flag.Parse()
+
+	if *runSmatch {
+		corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
+		res, err := smatch.Run(corpus)
+		if err != nil {
+			fatal(err)
+		}
+		for _, f := range res.Findings {
+			fmt.Println(f)
+		}
+		fmt.Printf("\n%d errors, %d warnings\n", res.Errors(), res.Warnings())
+		return
+	}
+
+	if *checkerPath == "" {
+		fatal(fmt.Errorf("missing -checker (or -smatch)"))
+	}
+	src, err := os.ReadFile(*checkerPath)
+	if err != nil {
+		fatal(err)
+	}
+	ck, err := ckdsl.CompileSource(string(src))
+	if err != nil {
+		fatal(fmt.Errorf("checker does not compile: %w", err))
+	}
+
+	var reports []*checker.Report
+	var agent *triage.Agent
+	if flag.NArg() > 0 {
+		for _, path := range flag.Args() {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				fatal(err)
+			}
+			f, err := minic.ParseFile(path, string(data))
+			if err != nil {
+				fatal(err)
+			}
+			res := engine.AnalyzeFile(f, engine.Options{Checkers: []checker.Checker{ck}})
+			reports = append(reports, res.Reports...)
+			for _, re := range res.RuntimeErrs {
+				fmt.Fprintln(os.Stderr, "kscan:", re.Error())
+			}
+		}
+	} else {
+		corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
+		cb, err := scan.NewCodebase(corpus)
+		if err != nil {
+			fatal(err)
+		}
+		res := cb.RunOne(ck, scan.Options{MaxReports: *maxReports})
+		reports = res.Reports
+		if *doTriage {
+			agent = triage.NewAgent(corpus)
+		}
+		fmt.Fprintf(os.Stderr, "scanned %d files / %d functions\n", res.FilesScanned, res.FuncsScanned)
+	}
+
+	bugs := 0
+	for _, r := range reports {
+		if agent != nil {
+			v := agent.Classify(r, 0)
+			label := "not-a-bug"
+			if v.Bug {
+				label = "bug"
+				bugs++
+			}
+			fmt.Printf("[%s] %s\n", label, r)
+		} else {
+			fmt.Println(r)
+		}
+	}
+	if agent != nil {
+		fmt.Fprintf(os.Stderr, "%d reports, %d labeled bug\n", len(reports), bugs)
+	} else {
+		fmt.Fprintf(os.Stderr, "%d reports\n", len(reports))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "kscan:", err)
+	os.Exit(1)
+}

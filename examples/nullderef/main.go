@@ -1,0 +1,62 @@
+// The paper's motivating scenario (§2.2, Fig. 2-4) end to end: start
+// from the historical devm_kzalloc patch commit, run the multi-stage
+// synthesis pipeline (pattern analysis -> plan -> implementation ->
+// validation), then deploy the checker across the synthetic kernel and
+// find the latent CVE-2024-50103-style bugs it was never trained on.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knighter/internal/kernel"
+	"knighter/internal/llm"
+	"knighter/internal/scan"
+	"knighter/internal/synth"
+	"knighter/internal/triage"
+)
+
+func main() {
+	// 1. The input patch: the hand-benchmark's devm_kzalloc commit.
+	commits := kernel.BuildHandCommits(11)
+	var input = commits.ByClass(kernel.ClassNPD)[0]
+	fmt.Printf("input patch %s: %s\n\n%s\n", input.ID, input.Subject, input.Diff())
+
+	// 2. Multi-stage synthesis (Algorithm 1).
+	model := llm.NewOracle(llm.O3Mini)
+	pipe := synth.NewPipeline(model, synth.Options{})
+	out := pipe.GenChecker(input)
+	if !out.Valid {
+		log.Fatal("synthesis failed — unexpected for the motivating commit")
+	}
+	fmt.Printf("bug pattern: %s\n\nplan:\n%s\n\n", out.Pattern.Text, out.Plan.Text())
+	fmt.Printf("synthesized checker (valid: N_buggy=%d > N_patched=%d):\n%s\n",
+		out.NBuggy, out.NPatched, out.Spec.String())
+
+	// 3. Deploy across the whole synthetic kernel.
+	corpus := kernel.Generate(kernel.Config{Seed: 1})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := cb.RunOne(out.Checker, scan.Options{})
+	fmt.Printf("whole-kernel scan: %d files, %d reports\n\n", res.FilesScanned, len(res.Reports))
+
+	// 4. Triage and match against the ground-truth ledger.
+	agent := triage.NewAgent(corpus)
+	newBugs, fps := 0, 0
+	for _, r := range res.Reports {
+		if !agent.Classify(r, 0).Bug {
+			continue
+		}
+		if bug, ok := corpus.IsBugSite(r.File, r.Func); ok {
+			newBugs++
+			years := corpus.NowDate.Sub(bug.Introduced).Hours() / 24 / 365.25
+			fmt.Printf("NEW BUG %s (latent %.1f years): %s\n", bug.ID, years, r)
+		} else {
+			fps++
+		}
+	}
+	fmt.Printf("\n%d new bugs found by a checker synthesized from one historical patch (%d false positives)\n",
+		newBugs, fps)
+}

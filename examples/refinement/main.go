@@ -1,0 +1,69 @@
+// The closed-loop refinement story (§3.2, Fig. 7): a first-draft checker
+// validates against its patch but drowns in false positives on real
+// code because it does not see through unlikely(); the triage agent
+// labels sampled reports, the refinement agent fixes the checker, and
+// the loop re-validates — ending with a plausible checker.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knighter/internal/kernel"
+	"knighter/internal/llm"
+	"knighter/internal/refine"
+	"knighter/internal/scan"
+	"knighter/internal/synth"
+	"knighter/internal/triage"
+)
+
+func main() {
+	commits := kernel.BuildHandCommits(11)
+	// The kzalloc NPD commit: its first valid checker is naive (no
+	// unlikely() handling), which the corpus punishes.
+	var input = commits.ByClass(kernel.ClassNPD)[1]
+	fmt.Printf("input patch %s (%s/%s)\n\n", input.ID, input.Class, input.Flavor)
+
+	model := llm.NewOracle(llm.O3Mini)
+	pipe := synth.NewPipeline(model, synth.Options{})
+	out := pipe.GenChecker(input)
+	if !out.Valid {
+		log.Fatal("synthesis failed unexpectedly")
+	}
+	fmt.Printf("first valid checker:\n%s\n", out.Spec.String())
+
+	corpus := kernel.Generate(kernel.Config{Seed: 1})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		log.Fatal(err)
+	}
+	agent := triage.NewAgent(corpus)
+
+	// Show the pre-refinement scan: count how many reports are bait
+	// functions that use if (unlikely(!p)) — correct code the naive
+	// checker cannot understand (paper Fig. 7).
+	pre := cb.RunOne(out.Checker, scan.Options{MaxReports: 100})
+	baitHits := 0
+	for _, r := range pre.Reports {
+		if bait, ok := corpus.BaitAt(r.File, r.Func); ok && bait.Kind == kernel.BaitUnlikelyCheck {
+			baitHits++
+		}
+	}
+	fmt.Printf("pre-refinement scan: %d reports, of which %d are unlikely()-guarded false positives\n\n",
+		len(pre.Reports), baitHits)
+
+	loop := refine.NewLoop(cb, agent, model, pipe.Val, refine.Options{})
+	rr := loop.Run(input, out.Spec)
+	fmt.Printf("refinement: %s after %d round(s), %d accepted step(s)\n\n", rr.Disposition, rr.Rounds, rr.Steps)
+	fmt.Printf("refined checker:\n%s\n", rr.Spec.String())
+	fmt.Printf("post-refinement scan: %d reports\n", len(rr.FinalReports))
+	for _, r := range rr.FinalReports {
+		label := "?"
+		if _, ok := corpus.IsBugSite(r.File, r.Func); ok {
+			label = "TRUE BUG"
+		} else if _, ok := corpus.BaitAt(r.File, r.Func); ok {
+			label = "residual FP"
+		}
+		fmt.Printf("  [%s] %s\n", label, r)
+	}
+}

@@ -1,0 +1,65 @@
+// The CVE-2025-21715 case study (§5.2.2, Fig. 10a/10b): a use-after-free
+// patch that moves free_netdev() after the last use of netdev_priv()
+// data teaches a checker that then finds the same pattern in an
+// unrelated driver's remove path.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/kernel"
+	"knighter/internal/llm"
+	"knighter/internal/minic"
+	"knighter/internal/synth"
+)
+
+// The paper's Fig. 10b target: dm9000_drv_remove uses the private data
+// after free_netdev() releases it.
+const dm9000 = `
+struct board_info {
+	int power_supply;
+};
+
+static void dm9000_drv_remove(struct platform_device *pdev)
+{
+	struct net_device *ndev = platform_get_drvdata(pdev);
+	struct board_info *dm = netdev_priv(ndev);
+
+	dm9000_release_board(pdev, dm);
+	free_netdev(ndev);
+	if (dm->power_supply)
+		regulator_disable(dm->power_supply);
+}
+`
+
+func main() {
+	commits := kernel.BuildHandCommits(11)
+	input := commits.ByClass(kernel.ClassUAF)[0] // the free_netdev ordering patch
+	fmt.Printf("input patch %s: %s\n\n%s\n", input.ID, input.Subject, input.Diff())
+
+	model := llm.NewOracle(llm.O3Mini)
+	pipe := synth.NewPipeline(model, synth.Options{})
+	out := pipe.GenChecker(input)
+	if !out.Valid {
+		log.Fatal("synthesis failed unexpectedly")
+	}
+	fmt.Printf("synthesized checker:\n%s\n", out.Spec.String())
+
+	file, err := minic.ParseFile("drivers/net/ethernet/davicom/dm9000.c", dm9000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := engine.AnalyzeFile(file, engine.Options{Checkers: []checker.Checker{out.Checker}})
+	fmt.Printf("scan of dm9000_drv_remove: %d report(s)\n", len(res.Reports))
+	for _, r := range res.Reports {
+		fmt.Println("  " + r.String())
+		for _, step := range r.Trace {
+			fmt.Printf("    trace %d: %s\n", step.Pos.Line, step.Note)
+		}
+	}
+	fmt.Println("\nThe checker learned from one driver's ordering fix and found the")
+	fmt.Println("same use-after-free in another driver — the CVE-2025-21715 story.")
+}

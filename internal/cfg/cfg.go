@@ -1,0 +1,324 @@
+// Package cfg lowers mini-C function bodies to control-flow graphs.
+//
+// The graph shape mirrors what the Clang Static Analyzer builds before
+// symbolic execution: straight-line blocks of simple statements joined by
+// branch / jump / return terminators, with goto and labels resolved to
+// explicit edges.
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"knighter/internal/minic"
+)
+
+// Graph is the control-flow graph of one function. Blocks[0] is the entry
+// block. Every reachable block has a non-nil terminator.
+type Graph struct {
+	Fn     *minic.FuncDecl
+	Blocks []*Block
+}
+
+// Entry returns the function entry block.
+func (g *Graph) Entry() *Block { return g.Blocks[0] }
+
+// Block is a maximal straight-line statement sequence.
+type Block struct {
+	ID    int
+	Stmts []minic.Stmt // DeclStmt and ExprStmt only
+	Term  Terminator
+	Label string // non-empty if the block is a goto target
+}
+
+// Terminator ends a block.
+type Terminator interface {
+	// Succs returns the successor blocks.
+	Succs() []*Block
+	termNode()
+}
+
+// Branch is a two-way conditional terminator.
+type Branch struct {
+	Cond minic.Expr
+	Then *Block
+	Else *Block
+	Pos  minic.Pos
+}
+
+// Jump is an unconditional edge.
+type Jump struct {
+	To *Block
+}
+
+// Return leaves the function; X may be nil.
+type Return struct {
+	X   minic.Expr
+	Pos minic.Pos
+}
+
+// Succs implements Terminator.
+func (t *Branch) Succs() []*Block { return []*Block{t.Then, t.Else} }
+
+// Succs implements Terminator.
+func (t *Jump) Succs() []*Block { return []*Block{t.To} }
+
+// Succs implements Terminator.
+func (t *Return) Succs() []*Block { return nil }
+
+func (*Branch) termNode() {}
+func (*Jump) termNode()   {}
+func (*Return) termNode() {}
+
+// BuildError reports a control-flow construction problem (for example a
+// goto to an undefined label).
+type BuildError struct {
+	Pos minic.Pos
+	Msg string
+}
+
+func (e *BuildError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type loopCtx struct {
+	continueTo *Block
+	breakTo    *Block
+}
+
+type builder struct {
+	g             *Graph
+	cur           *Block
+	labels        map[string]*Block
+	definedLabels map[string]bool
+	gotos         map[string][]minic.Pos // labels referenced by gotos
+	loops         []loopCtx
+	nextID        int
+	errList       []error
+}
+
+// Build lowers fn's body to a CFG. Unreachable blocks are pruned.
+func Build(fn *minic.FuncDecl) (*Graph, error) {
+	b := &builder{
+		g:             &Graph{Fn: fn},
+		labels:        map[string]*Block{},
+		definedLabels: map[string]bool{},
+		gotos:         map[string][]minic.Pos{},
+	}
+	entry := b.newBlock()
+	b.cur = entry
+	b.buildBlock(fn.Body)
+	if b.cur != nil && b.cur.Term == nil {
+		b.cur.Term = &Return{Pos: fn.Pos}
+	}
+	// Any label referenced by goto must have been defined.
+	for name, poss := range b.gotos {
+		if !b.definedLabels[name] {
+			return nil, &BuildError{Pos: poss[0], Msg: fmt.Sprintf("goto undefined label %q", name)}
+		}
+	}
+	if len(b.errList) > 0 {
+		return nil, b.errList[0]
+	}
+	b.prune()
+	return b.g, nil
+}
+
+func (b *builder) markDefined(name string) { b.definedLabels[name] = true }
+
+func (b *builder) newBlock() *Block {
+	blk := &Block{ID: b.nextID}
+	b.nextID++
+	b.g.Blocks = append(b.g.Blocks, blk)
+	return blk
+}
+
+// labelBlock returns (creating on demand) the block a label names.
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.newBlock()
+	blk.Label = name
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) emit(s minic.Stmt) {
+	if b.cur == nil || b.cur.Term != nil {
+		// Unreachable statement after return/goto: place in a fresh
+		// dangling block so positions survive, it will be pruned.
+		b.cur = b.newBlock()
+	}
+	b.cur.Stmts = append(b.cur.Stmts, s)
+}
+
+func (b *builder) terminate(t Terminator) {
+	if b.cur == nil || b.cur.Term != nil {
+		b.cur = b.newBlock()
+	}
+	b.cur.Term = t
+}
+
+func (b *builder) buildBlock(blk *minic.Block) {
+	for _, s := range blk.Stmts {
+		b.buildStmt(s)
+	}
+}
+
+func (b *builder) buildStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.Block:
+		b.buildBlock(st)
+	case *minic.DeclStmt, *minic.ExprStmt:
+		b.emit(s)
+	case *minic.ReturnStmt:
+		b.terminate(&Return{X: st.X, Pos: st.Pos})
+		b.cur = nil
+	case *minic.IfStmt:
+		thenB := b.newBlock()
+		elseB := b.newBlock()
+		joinB := b.newBlock()
+		b.terminate(&Branch{Cond: st.Cond, Then: thenB, Else: elseB, Pos: st.Pos})
+		b.cur = thenB
+		b.buildStmt(st.Then)
+		b.finishWithJump(joinB)
+		b.cur = elseB
+		if st.Else != nil {
+			b.buildStmt(st.Else)
+		}
+		b.finishWithJump(joinB)
+		b.cur = joinB
+	case *minic.WhileStmt:
+		header := b.newBlock()
+		body := b.newBlock()
+		after := b.newBlock()
+		b.finishWithJump(header)
+		b.cur = header
+		b.terminate(&Branch{Cond: st.Cond, Then: body, Else: after, Pos: st.Pos})
+		b.loops = append(b.loops, loopCtx{continueTo: header, breakTo: after})
+		b.cur = body
+		b.buildStmt(st.Body)
+		b.finishWithJump(header)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *minic.ForStmt:
+		if st.Init != nil {
+			b.buildStmt(st.Init)
+		}
+		header := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		after := b.newBlock()
+		b.finishWithJump(header)
+		b.cur = header
+		if st.Cond != nil {
+			b.terminate(&Branch{Cond: st.Cond, Then: body, Else: after, Pos: st.Pos})
+		} else {
+			b.terminate(&Jump{To: body})
+		}
+		b.loops = append(b.loops, loopCtx{continueTo: post, breakTo: after})
+		b.cur = body
+		b.buildStmt(st.Body)
+		b.finishWithJump(post)
+		b.cur = post
+		if st.Post != nil {
+			b.emit(&minic.ExprStmt{X: st.Post, Pos: st.Post.NodePos()})
+		}
+		b.finishWithJump(header)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.cur = after
+	case *minic.BreakStmt:
+		if len(b.loops) == 0 {
+			b.errList = append(b.errList, &BuildError{Pos: st.Pos, Msg: "break outside loop"})
+			return
+		}
+		b.terminate(&Jump{To: b.loops[len(b.loops)-1].breakTo})
+		b.cur = nil
+	case *minic.ContinueStmt:
+		if len(b.loops) == 0 {
+			b.errList = append(b.errList, &BuildError{Pos: st.Pos, Msg: "continue outside loop"})
+			return
+		}
+		b.terminate(&Jump{To: b.loops[len(b.loops)-1].continueTo})
+		b.cur = nil
+	case *minic.GotoStmt:
+		b.gotos[st.Label] = append(b.gotos[st.Label], st.Pos)
+		b.terminate(&Jump{To: b.labelBlock(st.Label)})
+		b.cur = nil
+	case *minic.LabeledStmt:
+		lb := b.labelBlock(st.Label)
+		b.markDefined(st.Label)
+		b.finishWithJump(lb)
+		b.cur = lb
+		if st.Stmt != nil {
+			b.buildStmt(st.Stmt)
+		}
+	default:
+		b.errList = append(b.errList, &BuildError{Pos: s.NodePos(), Msg: fmt.Sprintf("cfg: unsupported statement %T", s)})
+	}
+}
+
+// finishWithJump terminates the current block with a jump to target if it
+// is still open; a nil or already-terminated current block is left alone.
+func (b *builder) finishWithJump(target *Block) {
+	if b.cur != nil && b.cur.Term == nil {
+		b.cur.Term = &Jump{To: target}
+	}
+}
+
+// prune removes blocks unreachable from entry and renumbers the rest.
+func (b *builder) prune() {
+	if len(b.g.Blocks) == 0 {
+		return
+	}
+	reach := map[*Block]bool{}
+	var visit func(*Block)
+	visit = func(blk *Block) {
+		if blk == nil || reach[blk] {
+			return
+		}
+		reach[blk] = true
+		if blk.Term != nil {
+			for _, s := range blk.Term.Succs() {
+				visit(s)
+			}
+		}
+	}
+	visit(b.g.Blocks[0])
+	var kept []*Block
+	for _, blk := range b.g.Blocks {
+		if reach[blk] {
+			blk.ID = len(kept)
+			kept = append(kept, blk)
+		}
+	}
+	b.g.Blocks = kept
+}
+
+// Dot renders the graph in Graphviz dot syntax (debug aid).
+func (g *Graph) Dot() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n", g.Fn.Name)
+	for _, blk := range g.Blocks {
+		var lines []string
+		if blk.Label != "" {
+			lines = append(lines, blk.Label+":")
+		}
+		for _, s := range blk.Stmts {
+			lines = append(lines, minic.FormatStmt(s))
+		}
+		label := fmt.Sprintf("B%d\\n%s", blk.ID, strings.ReplaceAll(strings.Join(lines, "\\n"), "\"", "'"))
+		fmt.Fprintf(&sb, "  b%d [shape=box,label=\"%s\"];\n", blk.ID, label)
+		switch t := blk.Term.(type) {
+		case *Branch:
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"T: %s\"];\n", blk.ID, t.Then.ID,
+				strings.ReplaceAll(minic.FormatExpr(t.Cond), "\"", "'"))
+			fmt.Fprintf(&sb, "  b%d -> b%d [label=\"F\"];\n", blk.ID, t.Else.ID)
+		case *Jump:
+			fmt.Fprintf(&sb, "  b%d -> b%d;\n", blk.ID, t.To.ID)
+		case *Return:
+			fmt.Fprintf(&sb, "  b%d -> exit;\n", blk.ID)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,328 @@
+package cfg
+
+import (
+	"strings"
+	"testing"
+
+	"knighter/internal/minic"
+)
+
+func mustBuild(t *testing.T, src string) *Graph {
+	t.Helper()
+	fn, err := minic.ParseFunc("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	g, err := Build(fn)
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+// checkWellFormed verifies structural invariants every built graph must
+// satisfy: all blocks terminated, successors in the graph, entry first.
+func checkWellFormed(t *testing.T, g *Graph) {
+	t.Helper()
+	inGraph := map[*Block]bool{}
+	for i, b := range g.Blocks {
+		if b.ID != i {
+			t.Errorf("block %d has ID %d", i, b.ID)
+		}
+		inGraph[b] = true
+	}
+	for _, b := range g.Blocks {
+		if b.Term == nil {
+			t.Errorf("block %d has no terminator", b.ID)
+			continue
+		}
+		for _, s := range b.Term.Succs() {
+			if !inGraph[s] {
+				t.Errorf("block %d has successor outside graph", b.ID)
+			}
+		}
+	}
+}
+
+func TestStraightLine(t *testing.T) {
+	g := mustBuild(t, "int f(void)\n{\n\tint a = 1;\n\ta = a + 1;\n\treturn a;\n}\n")
+	checkWellFormed(t, g)
+	if len(g.Blocks) != 1 {
+		t.Fatalf("blocks = %d, want 1", len(g.Blocks))
+	}
+	if _, ok := g.Blocks[0].Term.(*Return); !ok {
+		t.Fatalf("terminator = %T", g.Blocks[0].Term)
+	}
+	if len(g.Blocks[0].Stmts) != 2 {
+		t.Errorf("stmts = %d, want 2", len(g.Blocks[0].Stmts))
+	}
+}
+
+func TestIfElseDiamond(t *testing.T) {
+	g := mustBuild(t, `
+int f(int x)
+{
+	int r;
+	if (x > 0)
+		r = 1;
+	else
+		r = 2;
+	return r;
+}
+`)
+	checkWellFormed(t, g)
+	br, ok := g.Entry().Term.(*Branch)
+	if !ok {
+		t.Fatalf("entry terminator = %T", g.Entry().Term)
+	}
+	if br.Then == br.Else {
+		t.Error("then and else must differ")
+	}
+	// Both arms must reach the same join block.
+	tj, ok1 := br.Then.Term.(*Jump)
+	ej, ok2 := br.Else.Term.(*Jump)
+	if !ok1 || !ok2 || tj.To != ej.To {
+		t.Fatalf("arms do not join: %T %T", br.Then.Term, br.Else.Term)
+	}
+	if _, ok := tj.To.Term.(*Return); !ok {
+		t.Errorf("join terminator = %T", tj.To.Term)
+	}
+}
+
+func TestEarlyReturnNoJoinEdge(t *testing.T) {
+	g := mustBuild(t, `
+int f(int x)
+{
+	if (!x)
+		return -1;
+	return x;
+}
+`)
+	checkWellFormed(t, g)
+	br := g.Entry().Term.(*Branch)
+	if _, ok := br.Then.Term.(*Return); !ok {
+		t.Errorf("then terminator = %T, want Return", br.Then.Term)
+	}
+}
+
+func TestWhileLoopShape(t *testing.T) {
+	g := mustBuild(t, `
+int f(int n)
+{
+	while (n > 0)
+		n--;
+	return n;
+}
+`)
+	checkWellFormed(t, g)
+	// Find the header: a block with a Branch whose Then eventually jumps
+	// back to it.
+	var header *Block
+	for _, b := range g.Blocks {
+		if br, ok := b.Term.(*Branch); ok {
+			cur := br.Then
+			for i := 0; i < 10 && cur != nil; i++ {
+				j, ok := cur.Term.(*Jump)
+				if !ok {
+					break
+				}
+				if j.To == b {
+					header = b
+					break
+				}
+				cur = j.To
+			}
+		}
+	}
+	if header == nil {
+		t.Fatal("no back edge found")
+	}
+}
+
+func TestForLoopDesugar(t *testing.T) {
+	g := mustBuild(t, `
+int f(int n)
+{
+	int s = 0;
+	for (int i = 0; i < n; i++)
+		s += i;
+	return s;
+}
+`)
+	checkWellFormed(t, g)
+	// init block must contain both decls (s and i).
+	if len(g.Entry().Stmts) != 2 {
+		t.Errorf("entry stmts = %d, want 2 (s and i decls)", len(g.Entry().Stmts))
+	}
+}
+
+func TestGotoErrorPath(t *testing.T) {
+	g := mustBuild(t, `
+int f(int x)
+{
+	int r = 0;
+	if (x < 0)
+		goto err;
+	r = 1;
+	return r;
+err:
+	cleanup();
+	return -1;
+}
+`)
+	checkWellFormed(t, g)
+	var errBlock *Block
+	for _, b := range g.Blocks {
+		if b.Label == "err" {
+			errBlock = b
+		}
+	}
+	if errBlock == nil {
+		t.Fatal("err label block not found")
+	}
+	if len(errBlock.Stmts) != 1 {
+		t.Errorf("err block stmts = %d, want 1 (cleanup call)", len(errBlock.Stmts))
+	}
+	if _, ok := errBlock.Term.(*Return); !ok {
+		t.Errorf("err block terminator = %T", errBlock.Term)
+	}
+}
+
+func TestGotoUndefinedLabel(t *testing.T) {
+	fn, err := minic.ParseFunc("t.c", "int f(void)\n{\n\tgoto nowhere;\n}\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(fn); err == nil {
+		t.Fatal("expected error for undefined label")
+	}
+}
+
+func TestBreakContinue(t *testing.T) {
+	g := mustBuild(t, `
+int f(int n)
+{
+	int s = 0;
+	while (n > 0) {
+		n--;
+		if (n == 5)
+			continue;
+		if (n == 2)
+			break;
+		s += n;
+	}
+	return s;
+}
+`)
+	checkWellFormed(t, g)
+}
+
+func TestBreakOutsideLoopFails(t *testing.T) {
+	fn, err := minic.ParseFunc("t.c", "int f(void)\n{\n\tbreak;\n}\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if _, err := Build(fn); err == nil {
+		t.Fatal("expected error for break outside loop")
+	}
+}
+
+func TestUnreachableCodePruned(t *testing.T) {
+	g := mustBuild(t, `
+int f(void)
+{
+	return 1;
+	return 2;
+}
+`)
+	checkWellFormed(t, g)
+	for _, b := range g.Blocks {
+		for _, s := range b.Stmts {
+			t.Errorf("unexpected reachable stmt %v", minic.FormatStmt(s))
+		}
+		if r, ok := b.Term.(*Return); ok {
+			if lit, ok := r.X.(*minic.IntLit); !ok || lit.Val != 1 {
+				t.Errorf("return expr = %v", minic.FormatExpr(r.X))
+			}
+		}
+	}
+}
+
+func TestImplicitVoidReturn(t *testing.T) {
+	g := mustBuild(t, "void f(int x)\n{\n\tx = 1;\n}\n")
+	checkWellFormed(t, g)
+	r, ok := g.Blocks[len(g.Blocks)-1].Term.(*Return)
+	if !ok || r.X != nil {
+		t.Fatalf("implicit return missing: %T", g.Blocks[len(g.Blocks)-1].Term)
+	}
+}
+
+func TestInfiniteForLoop(t *testing.T) {
+	g := mustBuild(t, `
+int f(int n)
+{
+	for (;;) {
+		n--;
+		if (n == 0)
+			break;
+	}
+	return n;
+}
+`)
+	checkWellFormed(t, g)
+}
+
+func TestDotOutput(t *testing.T) {
+	g := mustBuild(t, "int f(int x)\n{\n\tif (x)\n\t\treturn 1;\n\treturn 0;\n}\n")
+	dot := g.Dot()
+	if !strings.Contains(dot, "digraph") || !strings.Contains(dot, "->") {
+		t.Errorf("dot output malformed:\n%s", dot)
+	}
+}
+
+func TestNestedLoops(t *testing.T) {
+	g := mustBuild(t, `
+int f(int n)
+{
+	int s = 0;
+	for (int i = 0; i < n; i++) {
+		for (int j = 0; j < i; j++) {
+			if (j == 3)
+				break;
+			s += j;
+		}
+		if (s > 100)
+			break;
+	}
+	return s;
+}
+`)
+	checkWellFormed(t, g)
+	// Count back edges: must be exactly 2 (one per loop).
+	idx := map[*Block]int{}
+	for i, b := range g.Blocks {
+		idx[b] = i
+	}
+	// A simple DFS-based back-edge count on reducible loops: edge to a
+	// block currently on the DFS stack.
+	onStack := map[*Block]bool{}
+	visited := map[*Block]bool{}
+	back := 0
+	var dfs func(*Block)
+	dfs = func(b *Block) {
+		visited[b] = true
+		onStack[b] = true
+		for _, s := range b.Term.Succs() {
+			if onStack[s] {
+				back++
+			} else if !visited[s] {
+				dfs(s)
+			}
+		}
+		onStack[b] = false
+	}
+	dfs(g.Entry())
+	if back != 2 {
+		t.Errorf("back edges = %d, want 2", back)
+	}
+}

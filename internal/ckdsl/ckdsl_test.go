@@ -1,0 +1,664 @@
+package ckdsl
+
+import (
+	"strings"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/minic"
+)
+
+func analyze(t *testing.T, dsl, src string) *engine.Result {
+	t.Helper()
+	ck, err := CompileSource(dsl)
+	if err != nil {
+		t.Fatalf("compile checker: %v", err)
+	}
+	f, err := minic.ParseFile("test.c", src)
+	if err != nil {
+		t.Fatalf("parse code: %v", err)
+	}
+	return engine.AnalyzeFile(f, engine.Options{Checkers: []checker.Checker{ck}})
+}
+
+func wantReports(t *testing.T, res *engine.Result, n int, what string) {
+	t.Helper()
+	if len(res.RuntimeErrs) != 0 {
+		t.Fatalf("%s: unexpected runtime errors: %v", what, res.RuntimeErrs)
+	}
+	if len(res.Reports) != n {
+		var got []string
+		for _, r := range res.Reports {
+			got = append(got, r.String())
+		}
+		t.Fatalf("%s: reports = %d, want %d\n%s", what, len(res.Reports), n, strings.Join(got, "\n"))
+	}
+}
+
+// --- archetype DSL programs, one per paper bug category ---
+
+const npdDSL = `
+checker npd_devm_kzalloc {
+  bugtype "Null-Pointer-Dereference"
+  description "missing NULL check on devm_kzalloc() result"
+  track aliases
+  unwrap "unlikely" "likely"
+  source { call "devm_kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked report "pointer may be NULL when dereferenced" }
+}
+`
+
+func TestNPDArchetype(t *testing.T) {
+	buggy := `
+int probe(struct dev *d)
+{
+	struct priv *p = devm_kzalloc(d, sizeof(struct priv), GFP_KERNEL);
+	p->count = 0;
+	return 0;
+}
+`
+	fixed := `
+int probe(struct dev *d)
+{
+	struct priv *p = devm_kzalloc(d, sizeof(struct priv), GFP_KERNEL);
+	if (!p)
+		return -ENOMEM;
+	p->count = 0;
+	return 0;
+}
+`
+	wantReports(t, analyze(t, npdDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, npdDSL, fixed), 0, "fixed")
+}
+
+func TestNPDUnlikelyGuard(t *testing.T) {
+	src := `
+int reg(struct dev *d)
+{
+	struct pmx *pmx = devm_kzalloc(d, 8, GFP_KERNEL);
+	if (unlikely(!pmx))
+		return -ENOMEM;
+	pmx->pfc = d;
+	return 0;
+}
+`
+	// With unwrap configured the check is recognized.
+	wantReports(t, analyze(t, npdDSL, src), 0, "unwrap")
+	// Without unwrap (a naive synthesized checker) it is an FP.
+	naive := strings.Replace(npdDSL, "  unwrap \"unlikely\" \"likely\"\n", "", 1)
+	wantReports(t, analyze(t, naive, src), 1, "naive")
+}
+
+func TestNPDSyntacticModeMissesAliases(t *testing.T) {
+	aliasSrc := `
+int probe(struct dev *d)
+{
+	struct priv *p = devm_kzalloc(d, 8, GFP_KERNEL);
+	struct priv *q = p;
+	if (!q)
+		return -ENOMEM;
+	p->count = 0;
+	return 0;
+}
+`
+	// Semantic (alias) mode: no FP.
+	wantReports(t, analyze(t, npdDSL, aliasSrc), 0, "alias mode")
+	// Syntactic mode (no 'track aliases'): the q-check does not clear p.
+	syntactic := strings.Replace(npdDSL, "  track aliases\n", "", 1)
+	wantReports(t, analyze(t, syntactic, aliasSrc), 1, "syntactic mode")
+}
+
+const uafDSL = `
+checker uaf_free_netdev {
+  bugtype "Use-After-Free"
+  track aliases
+  source { call "free_netdev" frees arg 0 }
+  source { call "netdev_priv" derives arg 0 }
+  sink { deref freed report "private data used after free_netdev()" }
+}
+`
+
+func TestUAFArchetype(t *testing.T) {
+	buggy := `
+void drv_remove(struct platform_device *pdev)
+{
+	struct net_device *ndev = platform_get_drvdata(pdev);
+	struct board_info *dm = netdev_priv(ndev);
+	free_netdev(ndev);
+	if (dm->power_supply)
+		regulator_disable(dm->power_supply);
+}
+`
+	fixed := `
+void drv_remove(struct platform_device *pdev)
+{
+	struct net_device *ndev = platform_get_drvdata(pdev);
+	struct board_info *dm = netdev_priv(ndev);
+	if (dm->power_supply)
+		regulator_disable(dm->power_supply);
+	free_netdev(ndev);
+}
+`
+	res := analyze(t, uafDSL, buggy)
+	if len(res.Reports) < 1 {
+		t.Fatalf("buggy: no UAF reported")
+	}
+	if res.Reports[0].BugType != "Use-After-Free" {
+		t.Errorf("bugtype = %s", res.Reports[0].BugType)
+	}
+	wantReports(t, analyze(t, uafDSL, fixed), 0, "fixed")
+}
+
+const dfDSL = `
+checker double_free_kfree {
+  bugtype "Double-Free"
+  track aliases
+  source { call "kfree" frees arg 0 }
+  sink { call "kfree" arg 0 freed report "double free of the same allocation" }
+}
+`
+
+func TestDoubleFreeArchetype(t *testing.T) {
+	buggy := `
+void teardown(struct ctx *c)
+{
+	kfree(c->buf);
+	kfree(c->buf);
+}
+`
+	fixed := `
+void teardown(struct ctx *c)
+{
+	kfree(c->buf);
+	c->buf = NULL;
+	kfree(c->other);
+}
+`
+	wantReports(t, analyze(t, dfDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, dfDSL, fixed), 0, "fixed")
+}
+
+const leakDSL = `
+checker leak_kmalloc {
+  bugtype "Memory-Leak"
+  track aliases
+  source { call "kmalloc" yields alloc }
+  guard { call "kfree" releases arg 0 }
+  sink { end-of-function holding alloc report "allocation leaked on error path" }
+}
+`
+
+func TestMemLeakArchetype(t *testing.T) {
+	buggy := `
+int setup(struct dev *d, int n)
+{
+	char *tmp = kmalloc(64, GFP_KERNEL);
+	if (n < 0)
+		return -EINVAL;
+	kfree(tmp);
+	return 0;
+}
+`
+	fixed := `
+int setup(struct dev *d, int n)
+{
+	char *tmp = kmalloc(64, GFP_KERNEL);
+	if (n < 0) {
+		kfree(tmp);
+		return -EINVAL;
+	}
+	kfree(tmp);
+	return 0;
+}
+`
+	wantReports(t, analyze(t, leakDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, leakDSL, fixed), 0, "fixed")
+}
+
+func TestMemLeakEscapeSuppression(t *testing.T) {
+	// Storing into a structure or returning the pointer transfers
+	// ownership: no leak report.
+	escaped := `
+char *make(struct dev *d)
+{
+	char *tmp = kmalloc(64, GFP_KERNEL);
+	return tmp;
+}
+`
+	stored := `
+int attach(struct dev *d)
+{
+	char *tmp = kmalloc(64, GFP_KERNEL);
+	register_buffer(d, tmp);
+	return 0;
+}
+`
+	wantReports(t, analyze(t, leakDSL, escaped), 0, "returned")
+	wantReports(t, analyze(t, leakDSL, stored), 0, "passed to callee")
+}
+
+const ubiDSL = `
+checker ubi_cleanup_ptr {
+  bugtype "Use-Before-Initialization"
+  source { decl uninit cleanup-only }
+  guard { assign initializes }
+  sink { end-of-function cleanup uninit report "cleanup may run on uninitialized pointer" }
+}
+`
+
+func TestUBIArchetype(t *testing.T) {
+	buggy := `
+int ice_set_fc(struct ice_port_info *pi, int mode)
+{
+	struct caps *pcaps __free(kfree);
+	if (!pi)
+		return -EINVAL;
+	pcaps = kzalloc(sizeof(struct caps), GFP_KERNEL);
+	use(pcaps);
+	return 0;
+}
+`
+	fixed := `
+int ice_set_fc(struct ice_port_info *pi, int mode)
+{
+	struct caps *pcaps __free(kfree) = NULL;
+	if (!pi)
+		return -EINVAL;
+	pcaps = kzalloc(sizeof(struct caps), GFP_KERNEL);
+	use(pcaps);
+	return 0;
+}
+`
+	wantReports(t, analyze(t, ubiDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, ubiDSL, fixed), 0, "fixed")
+}
+
+func TestUBIAssignedOnEveryPathIsQuiet(t *testing.T) {
+	// The x509_cert_parse pattern from paper Fig. 8b: uninitialized at
+	// declaration but assigned on every path before any return.
+	src := `
+struct cert *parse(void)
+{
+	struct cert *cert __free(put_cert);
+	cert = kzalloc(32, GFP_KERNEL);
+	if (!cert)
+		return NULL;
+	return cert;
+}
+`
+	wantReports(t, analyze(t, ubiDSL, src), 0, "assigned on all paths")
+}
+
+const lockDSL = `
+checker lock_balance {
+  bugtype "Concurrency"
+  source { call "spin_lock" locks arg 0 }
+  source { call "spin_unlock" unlocks arg 0 }
+  sink { end-of-function holding locked report "return with lock held" }
+  sink { call "spin_lock" arg 0 locked report "double lock" }
+}
+`
+
+func TestLockArchetype(t *testing.T) {
+	buggy := `
+int update(struct dev *d, int n)
+{
+	spin_lock(&d->lock);
+	if (n < 0)
+		return -EINVAL;
+	d->value = n;
+	spin_unlock(&d->lock);
+	return 0;
+}
+`
+	fixed := `
+int update(struct dev *d, int n)
+{
+	spin_lock(&d->lock);
+	if (n < 0) {
+		spin_unlock(&d->lock);
+		return -EINVAL;
+	}
+	d->value = n;
+	spin_unlock(&d->lock);
+	return 0;
+}
+`
+	wantReports(t, analyze(t, lockDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, lockDSL, fixed), 0, "fixed")
+}
+
+func TestDoubleLock(t *testing.T) {
+	src := `
+void twice(struct dev *d)
+{
+	spin_lock(&d->lock);
+	spin_lock(&d->lock);
+	spin_unlock(&d->lock);
+	spin_unlock(&d->lock);
+}
+`
+	res := analyze(t, lockDSL, src)
+	found := false
+	for _, r := range res.Reports {
+		if strings.Contains(r.Message, "double lock") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("double lock not reported: %v", res.Reports)
+	}
+}
+
+const bufOverDSL = `
+checker cfu_bounds {
+  bugtype "Buffer-Overflow"
+  sink { call "copy_from_user" size-arg 2 buf-arg 0 slack 1 report "copy_from_user may overflow buffer" }
+}
+`
+
+func TestBufferOverflowArchetype(t *testing.T) {
+	buggy := `
+int lockstat_write(char *ubuf, size_t nbytes)
+{
+	char mybuf[64];
+	memset(mybuf, 0, sizeof(mybuf));
+	if (copy_from_user(mybuf, ubuf, nbytes))
+		return -EFAULT;
+	return 0;
+}
+`
+	fixedMin := `
+int lockstat_write(char *ubuf, size_t nbytes)
+{
+	char mybuf[64];
+	size_t bsize;
+	memset(mybuf, 0, sizeof(mybuf));
+	bsize = min(nbytes, sizeof(mybuf) - 1);
+	if (copy_from_user(mybuf, ubuf, bsize))
+		return -EFAULT;
+	return 0;
+}
+`
+	fixedGuard := `
+int bucket_write(char *ubuf, size_t size)
+{
+	char buf[128];
+	if (size > sizeof(buf) - 1)
+		return -EINVAL;
+	if (copy_from_user(buf, ubuf, size))
+		return -EFAULT;
+	buf[size] = 0;
+	return 0;
+}
+`
+	wantReports(t, analyze(t, bufOverDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, bufOverDSL, fixedMin), 0, "min() bound")
+	wantReports(t, analyze(t, bufOverDSL, fixedGuard), 0, "guard bound")
+}
+
+const intOverDSL = `
+checker mul_overflow_kmalloc {
+  bugtype "Integer-Overflow"
+  sink { mul-overflow into "kmalloc" arg 0 bits 32 report "size multiplication may overflow" }
+}
+`
+
+func TestIntegerOverflowArchetype(t *testing.T) {
+	buggy := `
+char *alloc_table(size_t count)
+{
+	return kmalloc(count * 16, GFP_KERNEL);
+}
+`
+	fixedGuard := `
+char *alloc_table(size_t count)
+{
+	if (count > 4096)
+		return NULL;
+	return kmalloc(count * 16, GFP_KERNEL);
+}
+`
+	fixedHelper := `
+char *alloc_table(size_t count)
+{
+	return kmalloc(array_size(count, 16), GFP_KERNEL);
+}
+`
+	wantReports(t, analyze(t, intOverDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, intOverDSL, fixedGuard), 0, "range guard")
+	wantReports(t, analyze(t, intOverDSL, fixedHelper), 0, "array_size helper")
+}
+
+const oobDSL = `
+checker oob_tainted_index {
+  bugtype "Out-of-Bound"
+  track aliases
+  source { call "le16_to_cpu" yields taint }
+  guard { boundcheck }
+  sink { index tainted report "untrusted index without bounds check" }
+}
+`
+
+func TestOOBArchetype(t *testing.T) {
+	buggy := `
+int lookup(struct pkt *p)
+{
+	int table[16];
+	int idx = le16_to_cpu(p->hdr);
+	fill(table);
+	return table[idx];
+}
+`
+	fixed := `
+int lookup(struct pkt *p)
+{
+	int table[16];
+	int idx = le16_to_cpu(p->hdr);
+	fill(table);
+	if (idx >= 16)
+		return -EINVAL;
+	return table[idx];
+}
+`
+	wantReports(t, analyze(t, oobDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, oobDSL, fixed), 0, "fixed")
+}
+
+const misuseTermDSL = `
+checker unterminated_sscanf {
+  bugtype "Misuse"
+  source { call "copy_from_user" writes arg 0 unterminated }
+  guard { terminate elem zero }
+  sink { call "sscanf" arg 0 unterminated report "sscanf on possibly unterminated buffer" }
+}
+`
+
+func TestMisuseTerminationArchetype(t *testing.T) {
+	buggy := `
+int parse_input(char *ubuf, size_t size)
+{
+	char buf[32];
+	int val;
+	if (copy_from_user(buf, ubuf, size))
+		return -EFAULT;
+	sscanf(buf, "%d", &val);
+	return val;
+}
+`
+	fixed := `
+int parse_input(char *ubuf, size_t size)
+{
+	char buf[32];
+	int val;
+	if (copy_from_user(buf, ubuf, size))
+		return -EFAULT;
+	buf[size] = 0;
+	sscanf(buf, "%d", &val);
+	return val;
+}
+`
+	wantReports(t, analyze(t, misuseTermDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, misuseTermDSL, fixed), 0, "fixed")
+}
+
+const misuseIrqDSL = `
+checker irq_unchecked_sign {
+  bugtype "Misuse"
+  sink { call "request_irq" arg 0 possibly-negative report "platform_get_irq() result used without sign check" }
+}
+`
+
+func TestMisuseNegativeIrqArchetype(t *testing.T) {
+	buggy := `
+int wire_irq(struct platform_device *pdev)
+{
+	int irq = platform_get_irq(pdev, 0);
+	return request_irq(irq, handler);
+}
+`
+	fixed := `
+int wire_irq(struct platform_device *pdev)
+{
+	int irq = platform_get_irq(pdev, 0);
+	if (irq < 0)
+		return irq;
+	return request_irq(irq, handler);
+}
+`
+	wantReports(t, analyze(t, misuseIrqDSL, buggy), 1, "buggy")
+	wantReports(t, analyze(t, misuseIrqDSL, fixed), 0, "fixed")
+}
+
+// --- compilation failure and runtime failure modes ---
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src  string
+		want string
+	}{
+		{`checker x { bugtype "B" sink { deref unchecked } bogus-directive }`, "unknown directive"},
+		{`checker x { sink { deref unchecked } }`, "no bugtype"},
+		{`checker x { bugtype "B" }`, "no sink"},
+		{`checker x { bugtype "B" source { call "f" yields banana } sink { deref unchecked } }`, "unknown yield class"},
+		{`checker x { bugtype "B" sink { deref sideways } }`, "unknown deref state"},
+		{`checker { bugtype "B" }`, "expected checker name"},
+		{`checker x { bugtype "B" sink { deref unchecked }`, "unexpected end"},
+	}
+	for _, tc := range cases {
+		_, err := Parse(tc.src)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q", tc.src, tc.want)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("Parse error = %q, want substring %q", err.Error(), tc.want)
+		}
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	// Sink references freed state but nothing frees: registration-time
+	// compile error (like referencing an unregistered CSA state map).
+	src := `
+checker bad {
+  bugtype "Use-After-Free"
+  sink { deref freed }
+}
+`
+	_, err := CompileSource(src)
+	if err == nil {
+		t.Fatal("expected registration error")
+	}
+	if !strings.Contains(err.Error(), "requires a 'frees' source") {
+		t.Errorf("error = %v", err)
+	}
+}
+
+func TestRuntimeErrorFromHallucinatedArgIndex(t *testing.T) {
+	// kfree has one argument; 'frees arg 3' panics at analysis time —
+	// the pipeline's "runtime error" failure symptom.
+	dsl := `
+checker crash {
+  bugtype "Double-Free"
+  source { call "kfree" frees arg 3 }
+  sink { call "kfree" arg 0 freed }
+}
+`
+	ck, err := CompileSource(dsl)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	f, err := minic.ParseFile("t.c", "void f(struct x *p)\n{\n\tkfree(p);\n}\n")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	res := engine.AnalyzeFile(f, engine.Options{Checkers: []checker.Checker{ck}})
+	if len(res.RuntimeErrs) != 1 {
+		t.Fatalf("runtime errors = %d, want 1", len(res.RuntimeErrs))
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	for _, dsl := range []string{npdDSL, uafDSL, dfDSL, leakDSL, ubiDSL, lockDSL,
+		bufOverDSL, intOverDSL, oobDSL, misuseTermDSL, misuseIrqDSL} {
+		s1, err := Parse(dsl)
+		if err != nil {
+			t.Fatalf("parse: %v\n%s", err, dsl)
+		}
+		s2, err := Parse(s1.String())
+		if err != nil {
+			t.Fatalf("reparse canonical form: %v\n%s", err, s1.String())
+		}
+		if s1.String() != s2.String() {
+			t.Errorf("canonical form not stable:\n%s\nvs\n%s", s1.String(), s2.String())
+		}
+	}
+}
+
+func TestCapabilities(t *testing.T) {
+	s, err := Parse(npdDSL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	caps := s.Capabilities()
+	if !caps.PathSensitive || !caps.RegionBased {
+		t.Errorf("NPD caps = %+v", caps)
+	}
+	if caps.ASTTraveler {
+		t.Error("alias-tracking checker must not be AST traveler")
+	}
+	syntactic := strings.Replace(npdDSL, "  track aliases\n", "", 1)
+	s2, _ := Parse(syntactic)
+	if !s2.Capabilities().ASTTraveler {
+		t.Error("syntactic checker should classify as AST traveler")
+	}
+	s3, _ := Parse(uafDSL)
+	if !s3.Capabilities().PathSensitive {
+		t.Errorf("UAF caps = %+v", s3.Capabilities())
+	}
+}
+
+func TestLineCount(t *testing.T) {
+	s, _ := Parse(npdDSL)
+	if n := s.LineCount(); n < 7 || n > 12 {
+		t.Errorf("LineCount = %d, expected a small checker", n)
+	}
+}
+
+func TestDSLComments(t *testing.T) {
+	src := `
+# A commented checker.
+checker with_comments {
+  bugtype "Null-Pointer-Dereference"  # inline comment
+  source { call "kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+	if _, err := CompileSource(src); err != nil {
+		t.Fatalf("comments should parse: %v", err)
+	}
+}

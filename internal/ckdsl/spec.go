@@ -1,0 +1,301 @@
+// Package ckdsl defines the checker DSL — the artifact KNighter's
+// synthesis pipeline generates, repairs, validates, and refines.
+//
+// A DSL program plays the role of the C++ CSA checker in the paper: it is
+// human-readable, can fail to parse ("compilation error"), can be
+// rejected at registration ("compilation error"), can crash during
+// analysis ("runtime error"), and can be semantically wrong or over-broad
+// (invalid checkers / false positives). The compiler lowers a parsed Spec
+// onto the engine's checker callback interfaces.
+package ckdsl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SourceKind enumerates taint-introduction rules.
+type SourceKind int
+
+// Source kinds.
+const (
+	SrcCallYields  SourceKind = iota // call "f" yields nullable|alloc|taint
+	SrcCallFrees                     // call "f" frees arg N
+	SrcCallLocks                     // call "f" locks arg N
+	SrcCallUnlocks                   // call "f" unlocks arg N
+	SrcCallDerives                   // call "f" derives arg N   (ret derived from arg)
+	SrcCallWrites                    // call "f" writes arg N unterminated
+	SrcDeclUninit                    // decl uninit [cleanup-only]
+)
+
+// GuardKind enumerates rules that neutralize tracked state.
+type GuardKind int
+
+// Guard kinds.
+const (
+	GuardNullCheck    GuardKind = iota // nullcheck
+	GuardBoundCheck                    // boundcheck
+	GuardCallReleases                  // call "f" releases arg N
+	GuardAssignInit                    // assign initializes
+	GuardTerminate                     // terminate elem zero
+)
+
+// SinkKind enumerates report-triggering rules.
+type SinkKind int
+
+// Sink kinds.
+const (
+	SinkDerefUnchecked      SinkKind = iota // deref unchecked
+	SinkDerefFreed                          // deref freed
+	SinkCallArgFreed                        // call "f" arg N freed
+	SinkCallArgLocked                       // call "f" arg N locked
+	SinkCallArgUnterminated                 // call "f" arg N unterminated
+	SinkCallArgNegative                     // call "f" arg N possibly-negative
+	SinkCopyOverflow                        // call "f" size-arg N buf-arg M slack K
+	SinkMulOverflow                         // mul-overflow into "f" arg N bits B
+	SinkIndexTainted                        // index tainted
+	SinkIndexConstOOB                       // index constant-oob
+	SinkEndHeld                             // end-of-function holding alloc|locked
+	SinkEndUninitCleanup                    // end-of-function cleanup uninit
+	SinkUseUninit                           // use uninit
+)
+
+// SourceRule introduces tracked state.
+type SourceRule struct {
+	Kind        SourceKind
+	Callee      string
+	Arg         int
+	Yields      string // "nullable" | "alloc" | "taint"
+	CleanupOnly bool
+	Line        int
+}
+
+// GuardRule neutralizes tracked state.
+type GuardRule struct {
+	Kind   GuardKind
+	Callee string
+	Arg    int
+	Line   int
+}
+
+// SinkRule triggers a report.
+type SinkRule struct {
+	Kind    SinkKind
+	Callee  string
+	Arg     int
+	SizeArg int
+	BufArg  int
+	Slack   int
+	Bits    uint
+	Holding string // for SinkEndHeld: "alloc" | "locked"
+	Message string
+	Line    int
+}
+
+// Spec is a parsed checker program.
+type Spec struct {
+	Name        string
+	BugTypeName string
+	Description string
+	Unwrap      []string // wrapper macros guards see through
+	TrackAlias  bool     // value-based (semantic) vs syntactic tracking
+	Sources     []SourceRule
+	Guards      []GuardRule
+	Sinks       []SinkRule
+}
+
+// yieldsAny reports whether any source yields the given taint class.
+func (s *Spec) yieldsAny(class string) bool {
+	for _, src := range s.Sources {
+		if src.Kind == SrcCallYields && src.Yields == class {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Spec) hasSourceKind(k SourceKind) bool {
+	for _, src := range s.Sources {
+		if src.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Spec) hasGuardKind(k GuardKind) bool {
+	for _, g := range s.Guards {
+		if g.Kind == k {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the spec in canonical DSL syntax; parsing the output
+// yields an equivalent spec.
+func (s *Spec) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "checker %s {\n", s.Name)
+	fmt.Fprintf(&b, "  bugtype %q\n", s.BugTypeName)
+	if s.Description != "" {
+		fmt.Fprintf(&b, "  description %q\n", s.Description)
+	}
+	if s.TrackAlias {
+		b.WriteString("  track aliases\n")
+	}
+	if len(s.Unwrap) > 0 {
+		b.WriteString("  unwrap")
+		for _, u := range s.Unwrap {
+			fmt.Fprintf(&b, " %q", u)
+		}
+		b.WriteString("\n")
+	}
+	for _, src := range s.Sources {
+		b.WriteString("  source { ")
+		switch src.Kind {
+		case SrcCallYields:
+			fmt.Fprintf(&b, "call %q yields %s", src.Callee, src.Yields)
+		case SrcCallFrees:
+			fmt.Fprintf(&b, "call %q frees arg %d", src.Callee, src.Arg)
+		case SrcCallLocks:
+			fmt.Fprintf(&b, "call %q locks arg %d", src.Callee, src.Arg)
+		case SrcCallUnlocks:
+			fmt.Fprintf(&b, "call %q unlocks arg %d", src.Callee, src.Arg)
+		case SrcCallDerives:
+			fmt.Fprintf(&b, "call %q derives arg %d", src.Callee, src.Arg)
+		case SrcCallWrites:
+			fmt.Fprintf(&b, "call %q writes arg %d unterminated", src.Callee, src.Arg)
+		case SrcDeclUninit:
+			b.WriteString("decl uninit")
+			if src.CleanupOnly {
+				b.WriteString(" cleanup-only")
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	for _, g := range s.Guards {
+		b.WriteString("  guard { ")
+		switch g.Kind {
+		case GuardNullCheck:
+			b.WriteString("nullcheck")
+		case GuardBoundCheck:
+			b.WriteString("boundcheck")
+		case GuardCallReleases:
+			fmt.Fprintf(&b, "call %q releases arg %d", g.Callee, g.Arg)
+		case GuardAssignInit:
+			b.WriteString("assign initializes")
+		case GuardTerminate:
+			b.WriteString("terminate elem zero")
+		}
+		b.WriteString(" }\n")
+	}
+	for _, sk := range s.Sinks {
+		b.WriteString("  sink { ")
+		switch sk.Kind {
+		case SinkDerefUnchecked:
+			b.WriteString("deref unchecked")
+		case SinkDerefFreed:
+			b.WriteString("deref freed")
+		case SinkCallArgFreed:
+			fmt.Fprintf(&b, "call %q arg %d freed", sk.Callee, sk.Arg)
+		case SinkCallArgLocked:
+			fmt.Fprintf(&b, "call %q arg %d locked", sk.Callee, sk.Arg)
+		case SinkCallArgUnterminated:
+			fmt.Fprintf(&b, "call %q arg %d unterminated", sk.Callee, sk.Arg)
+		case SinkCallArgNegative:
+			fmt.Fprintf(&b, "call %q arg %d possibly-negative", sk.Callee, sk.Arg)
+		case SinkCopyOverflow:
+			fmt.Fprintf(&b, "call %q size-arg %d buf-arg %d slack %d", sk.Callee, sk.SizeArg, sk.BufArg, sk.Slack)
+		case SinkMulOverflow:
+			fmt.Fprintf(&b, "mul-overflow into %q arg %d bits %d", sk.Callee, sk.Arg, sk.Bits)
+		case SinkIndexTainted:
+			b.WriteString("index tainted")
+		case SinkIndexConstOOB:
+			b.WriteString("index constant-oob")
+		case SinkEndHeld:
+			fmt.Fprintf(&b, "end-of-function holding %s", sk.Holding)
+		case SinkEndUninitCleanup:
+			b.WriteString("end-of-function cleanup uninit")
+		case SinkUseUninit:
+			b.WriteString("use uninit")
+		}
+		if sk.Message != "" {
+			fmt.Fprintf(&b, " report %q", sk.Message)
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// LineCount returns the number of non-blank lines in the canonical
+// rendering (the paper's checker-LoC metric analog).
+func (s *Spec) LineCount() int {
+	n := 0
+	for _, l := range strings.Split(s.String(), "\n") {
+		if strings.TrimSpace(l) != "" {
+			n++
+		}
+	}
+	return n
+}
+
+// Capabilities classifies the static-analysis machinery a spec uses,
+// mirroring the paper's §5.1 capability taxonomy.
+type Capabilities struct {
+	PathSensitive bool // branch-dependent state (guards or end-of-function sinks)
+	RegionBased   bool // region/field/element reasoning
+	StateTracking bool // >= 2 independent state domains
+	ASTTraveler   bool // purely syntactic tracking (no alias tracking)
+}
+
+// Capabilities derives the capability profile of the spec, mirroring the
+// paper's §5.1 taxonomy: almost all checkers are path-sensitive, a
+// subset reasons about memory regions, "advanced state tracking" means
+// cross-callback custom state beyond one boolean map, and a few purely
+// syntactic checkers are classified as AST travelers.
+func (s *Spec) Capabilities() Capabilities {
+	var c Capabilities
+	// A checker is an AST traveler when it keys its object tracking by
+	// source spelling instead of values.
+	if !s.TrackAlias && (s.yieldsAny("nullable") || s.hasSourceKind(SrcCallFrees)) {
+		c.ASTTraveler = true
+	}
+	// Everything the engine runs is path-sensitive except the purely
+	// syntactic trackers.
+	c.PathSensitive = !c.ASTTraveler
+	for _, sk := range s.Sinks {
+		switch sk.Kind {
+		case SinkDerefUnchecked, SinkDerefFreed, SinkIndexTainted, SinkIndexConstOOB,
+			SinkCopyOverflow, SinkCallArgUnterminated:
+			c.RegionBased = true
+		}
+	}
+	domains := map[string]bool{}
+	for _, src := range s.Sources {
+		switch src.Kind {
+		case SrcCallYields:
+			domains["track:"+src.Yields] = true
+		case SrcCallFrees:
+			domains["freed"] = true
+		case SrcCallDerives:
+			domains["derived"] = true
+		case SrcCallLocks, SrcCallUnlocks:
+			domains["lock"] = true
+		case SrcCallWrites:
+			domains["term"] = true
+		case SrcDeclUninit:
+			domains["uninit"] = true
+		}
+	}
+	for _, g := range s.Guards {
+		if g.Kind == GuardBoundCheck {
+			domains["bounded"] = true
+		}
+	}
+	if len(domains) >= 2 || (s.TrackAlias && len(domains) >= 1) {
+		c.StateTracking = true
+	}
+	return c
+}

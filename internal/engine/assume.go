@@ -1,0 +1,267 @@
+package engine
+
+import (
+	"knighter/internal/minic"
+	"knighter/internal/sym"
+)
+
+// assume returns the state refined by taking the branch on cond, or nil
+// when the branch is infeasible under the current constraints. It reads
+// sub-expression values from the path's evaluation cache (populated by
+// the preceding evalExpr of the condition), so it never re-evaluates and
+// never duplicates side effects.
+func (ex *exec) assume(pc *pathCtx, cond minic.Expr, branch bool) *sym.State {
+	return ex.assumeIn(pc.state, pc, cond, branch)
+}
+
+func (ex *exec) assumeIn(st *sym.State, pc *pathCtx, cond minic.Expr, branch bool) *sym.State {
+	e := minic.UnwrapCalls(cond, "unlikely", "likely")
+	switch x := e.(type) {
+	case *minic.UnaryExpr:
+		if x.Op == minic.Bang {
+			return ex.assumeIn(st, pc, x.X, !branch)
+		}
+	case *minic.BinaryExpr:
+		switch x.Op {
+		case minic.AmpAmp:
+			if branch {
+				s := ex.assumeIn(st, pc, x.X, true)
+				if s == nil {
+					return nil
+				}
+				return ex.assumeIn(s, pc, x.Y, true)
+			}
+			// !(a && b): at least one is false — no single refinement
+			// is sound, leave unconstrained (matches a bifurcation-free
+			// approximation).
+			return st
+		case minic.PipePipe:
+			if !branch {
+				s := ex.assumeIn(st, pc, x.X, false)
+				if s == nil {
+					return nil
+				}
+				return ex.assumeIn(s, pc, x.Y, false)
+			}
+			return st
+		case minic.EqEq, minic.NotEq:
+			return ex.assumeEquality(st, pc, x, branch)
+		case minic.Lt, minic.Gt, minic.Le, minic.Ge:
+			return ex.assumeRelational(st, pc, x, branch)
+		}
+	}
+	// Truthiness of a plain value.
+	v := pc.values[e]
+	switch v.Kind {
+	case sym.KindInt:
+		if (v.Int != 0) == branch {
+			return st
+		}
+		return nil
+	case sym.KindLoc:
+		if branch {
+			return st
+		}
+		return nil // a location is never null
+	case sym.KindSymbol:
+		return ex.constrainTruthiness(st, v.Sym, branch)
+	default:
+		return st
+	}
+}
+
+// constrainTruthiness applies "sym != 0" (truthy) or "sym == 0" (falsy).
+func (ex *exec) constrainTruthiness(st *sym.State, s sym.SymbolID, truthy bool) *sym.State {
+	v := sym.MakeSym(s)
+	nl := st.NullnessOf(v)
+	r := st.RangeOf(v)
+	if truthy {
+		if nl == sym.IsNull {
+			return nil
+		}
+		if r.IsSingleton() && r.Min == 0 {
+			return nil
+		}
+		st = st.WithNullness(s, sym.NotNull)
+		// Trim a zero endpoint when possible.
+		if r.Min == 0 {
+			st = st.WithRange(s, r.AtLeast(1))
+		}
+		return st
+	}
+	if nl == sym.NotNull {
+		return nil
+	}
+	if !r.Contains(0) {
+		return nil
+	}
+	st = st.WithNullness(s, sym.IsNull)
+	return st.WithRange(s, sym.SingletonRange(0))
+}
+
+func (ex *exec) assumeEquality(st *sym.State, pc *pathCtx, x *minic.BinaryExpr, branch bool) *sym.State {
+	lv, rv := pc.values[minic.UnwrapCalls(x.X, "unlikely", "likely")], pc.values[minic.UnwrapCalls(x.Y, "unlikely", "likely")]
+	if v, ok := pc.values[x.X]; ok {
+		lv = v
+	}
+	if v, ok := pc.values[x.Y]; ok {
+		rv = v
+	}
+	wantEqual := (x.Op == minic.EqEq) == branch
+
+	// Both concrete: feasibility only.
+	if lv.IsConcreteInt() && rv.IsConcreteInt() {
+		if (lv.Int == rv.Int) == wantEqual {
+			return st
+		}
+		return nil
+	}
+	// Symbol vs concrete (either order).
+	s, c, ok := symConstPair(lv, rv)
+	if !ok {
+		// Loc vs null constant: a Loc can never equal 0.
+		if lv.IsLoc() && rv.IsNullConst() || rv.IsLoc() && lv.IsNullConst() {
+			if wantEqual {
+				return nil
+			}
+			return st
+		}
+		return st
+	}
+	v := sym.MakeSym(s)
+	r := st.RangeOf(v)
+	nl := st.NullnessOf(v)
+	if wantEqual {
+		if !r.Contains(c) {
+			return nil
+		}
+		if c == 0 && nl == sym.NotNull {
+			return nil
+		}
+		st = st.WithRange(s, sym.SingletonRange(c))
+		if c == 0 {
+			st = st.WithNullness(s, sym.IsNull)
+		} else {
+			st = st.WithNullness(s, sym.NotNull)
+		}
+		return st
+	}
+	// Not equal to c.
+	if r.IsSingleton() && r.Min == c {
+		return nil
+	}
+	if c == 0 {
+		if nl == sym.IsNull {
+			return nil
+		}
+		st = st.WithNullness(s, sym.NotNull)
+	}
+	// Trim interval endpoints.
+	if r.Min == c {
+		st = st.WithRange(s, r.AtLeast(c+1))
+	} else if r.Max == c {
+		st = st.WithRange(s, r.AtMost(c-1))
+	}
+	return st
+}
+
+func (ex *exec) assumeRelational(st *sym.State, pc *pathCtx, x *minic.BinaryExpr, branch bool) *sym.State {
+	lv, rv := pc.values[x.X], pc.values[x.Y]
+	op := x.Op
+	if !branch {
+		op = negateRel(op)
+	}
+	// Concrete-concrete: feasibility.
+	if lv.IsConcreteInt() && rv.IsConcreteInt() {
+		if relHolds(op, lv.Int, rv.Int) {
+			return st
+		}
+		return nil
+	}
+	// sym REL const
+	if lv.IsSymbol() && rv.IsConcreteInt() {
+		return constrainRel(st, lv.Sym, op, rv.Int)
+	}
+	// const REL sym  ==>  sym (flipped REL) const
+	if rv.IsSymbol() && lv.IsConcreteInt() {
+		return constrainRel(st, rv.Sym, flipRel(op), lv.Int)
+	}
+	return st
+}
+
+func negateRel(op minic.Kind) minic.Kind {
+	switch op {
+	case minic.Lt:
+		return minic.Ge
+	case minic.Ge:
+		return minic.Lt
+	case minic.Gt:
+		return minic.Le
+	case minic.Le:
+		return minic.Gt
+	}
+	return op
+}
+
+func flipRel(op minic.Kind) minic.Kind {
+	switch op {
+	case minic.Lt:
+		return minic.Gt
+	case minic.Gt:
+		return minic.Lt
+	case minic.Le:
+		return minic.Ge
+	case minic.Ge:
+		return minic.Le
+	}
+	return op
+}
+
+func relHolds(op minic.Kind, a, b int64) bool {
+	switch op {
+	case minic.Lt:
+		return a < b
+	case minic.Gt:
+		return a > b
+	case minic.Le:
+		return a <= b
+	case minic.Ge:
+		return a >= b
+	}
+	return true
+}
+
+// constrainRel refines "sym OP c"; returns nil when infeasible.
+func constrainRel(st *sym.State, s sym.SymbolID, op minic.Kind, c int64) *sym.State {
+	v := sym.MakeSym(s)
+	r := st.RangeOf(v)
+	switch op {
+	case minic.Lt:
+		r = r.AtMost(c - 1)
+	case minic.Le:
+		r = r.AtMost(c)
+	case minic.Gt:
+		r = r.AtLeast(c + 1)
+	case minic.Ge:
+		r = r.AtLeast(c)
+	}
+	if r.IsEmpty() {
+		return nil
+	}
+	st = st.WithRange(s, r)
+	// A strictly positive or strictly negative value is non-null.
+	if !r.Contains(0) {
+		st = st.WithNullness(s, sym.NotNull)
+	}
+	return st
+}
+
+func symConstPair(a, b sym.Value) (sym.SymbolID, int64, bool) {
+	if a.IsSymbol() && b.IsConcreteInt() {
+		return a.Sym, b.Int, true
+	}
+	if b.IsSymbol() && a.IsConcreteInt() {
+		return b.Sym, a.Int, true
+	}
+	return 0, 0, false
+}

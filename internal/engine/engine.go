@@ -1,0 +1,351 @@
+// Package engine implements the path-sensitive symbolic execution core —
+// the reproduction's analog of the Clang Static Analyzer (paper §2.1).
+//
+// It walks each function's CFG, threading immutable sym.States along
+// every feasible path (an exploded graph), dispatches checker callbacks
+// at program points, applies branch constraints, bounds loops, and
+// collects deduplicated bug reports.
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"knighter/internal/cfg"
+	"knighter/internal/checker"
+	"knighter/internal/minic"
+	"knighter/internal/sym"
+)
+
+// Options configures an analysis run.
+type Options struct {
+	Checkers []checker.Checker
+	// MaxBlockVisits bounds per-path loop iterations (default 2).
+	MaxBlockVisits int
+	// MaxPaths bounds the number of completed paths per function
+	// (default 512).
+	MaxPaths int
+	// MaxSteps is a global per-function work bound (default 20000).
+	MaxSteps int
+	// MaxTrace bounds the recorded path-trace length (default 24).
+	MaxTrace int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxBlockVisits <= 0 {
+		o.MaxBlockVisits = 2
+	}
+	if o.MaxPaths <= 0 {
+		o.MaxPaths = 512
+	}
+	if o.MaxSteps <= 0 {
+		o.MaxSteps = 20000
+	}
+	if o.MaxTrace <= 0 {
+		o.MaxTrace = 24
+	}
+	return o
+}
+
+// Result accumulates the outcome of analyzing one or more functions.
+type Result struct {
+	Reports   []*checker.Report
+	Paths     int
+	Steps     int
+	Truncated bool
+	// RuntimeErrs records checker crashes ("the analyzer encountered
+	// problems on source files"), keyed by function.
+	RuntimeErrs []RuntimeErr
+}
+
+// RuntimeErr describes a checker crash during analysis of a function.
+type RuntimeErr struct {
+	Func    string
+	Checker string
+	Panic   string
+}
+
+func (e RuntimeErr) Error() string {
+	return fmt.Sprintf("analyzer crash in %s (checker %s): %s", e.Func, e.Checker, e.Panic)
+}
+
+// Merge folds other into r.
+func (r *Result) Merge(other *Result) {
+	seen := map[string]bool{}
+	for _, rep := range r.Reports {
+		seen[rep.Key()] = true
+	}
+	for _, rep := range other.Reports {
+		if !seen[rep.Key()] {
+			seen[rep.Key()] = true
+			r.Reports = append(r.Reports, rep)
+		}
+	}
+	r.Paths += other.Paths
+	r.Steps += other.Steps
+	r.Truncated = r.Truncated || other.Truncated
+	r.RuntimeErrs = append(r.RuntimeErrs, other.RuntimeErrs...)
+}
+
+// AnalyzeFile analyzes every function in the file.
+func AnalyzeFile(file *minic.File, opts Options) *Result {
+	total := &Result{}
+	for _, fn := range file.Funcs {
+		total.Merge(AnalyzeFunc(file, fn, opts))
+	}
+	return total
+}
+
+// AnalyzeFunc analyzes a single function. A checker panic is recovered
+// and recorded as a RuntimeErr on the result (the analog of CSA's "the
+// analyzer encountered problems on source files").
+func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Result) {
+	opts = opts.withDefaults()
+	res = &Result{}
+	graph, err := cfg.Build(fn)
+	if err != nil {
+		// Malformed control flow: skip the function (parity with CSA,
+		// which skips bodies it cannot lower).
+		return res
+	}
+	ex := &exec{
+		file:    file,
+		fn:      fn,
+		graph:   graph,
+		arena:   sym.NewArena(),
+		opts:    opts,
+		res:     res,
+		reports: map[string]*checker.Report{},
+		structs: map[string]*minic.StructDecl{},
+		decls:   map[string]minic.Type{},
+		visited: map[visitKey]bool{},
+	}
+	for _, s := range file.Structs {
+		ex.structs[s.Name] = s
+	}
+	defer func() {
+		if p := recover(); p != nil {
+			res.RuntimeErrs = append(res.RuntimeErrs, RuntimeErr{
+				Func: fn.Name, Checker: ex.activeChecker, Panic: fmt.Sprint(p),
+			})
+		}
+	}()
+	ex.run()
+	return res
+}
+
+type visitKey struct {
+	block int
+	fp    string
+}
+
+// exec holds per-function analysis machinery shared across all paths.
+type exec struct {
+	file    *minic.File
+	fn      *minic.FuncDecl
+	graph   *cfg.Graph
+	arena   *sym.Arena
+	opts    Options
+	res     *Result
+	reports map[string]*checker.Report
+	structs map[string]*minic.StructDecl
+	decls   map[string]minic.Type // declared types of params/locals/globals
+	visited map[visitKey]bool
+	// localDeclared tracks names declared as locals so uninitialized
+	// loads can be flagged.
+	localDeclared map[string]bool
+	activeChecker string
+}
+
+// frame is one pending exploded node: a CFG block to execute with an
+// incoming state.
+type frame struct {
+	block  *cfg.Block
+	state  *sym.State
+	visits map[int]int
+	trace  []checker.TraceStep
+}
+
+func (ex *exec) run() {
+	init := sym.NewState()
+	ex.localDeclared = map[string]bool{}
+	// Bind parameters to fresh symbols.
+	for _, p := range ex.fn.Params {
+		r := ex.arena.VarRegion(p.Name, p.Pos)
+		s := ex.arena.NewSymbol("param:"+p.Name, p.Pos)
+		init = init.BindRegion(r, sym.MakeSym(s))
+		if isUnsignedType(p.Type) && !p.Type.IsPointer() {
+			init = init.WithRange(s, sym.FullRange.AtLeast(0))
+		}
+		ex.decls[p.Name] = p.Type
+		if p.Type.IsArray() {
+			ex.arena.SetArrayLen(r, p.Type.ArrayLen)
+		}
+	}
+	for _, g := range ex.file.Globals {
+		ex.decls[g.Name] = g.Type
+	}
+	stack := []*frame{{block: ex.graph.Entry(), state: init, visits: map[int]int{}}}
+	for len(stack) > 0 {
+		ex.res.Steps++
+		if ex.res.Steps > ex.opts.MaxSteps || ex.res.Paths >= ex.opts.MaxPaths {
+			ex.res.Truncated = true
+			return
+		}
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+
+		f.visits[f.block.ID]++
+		if f.visits[f.block.ID] > ex.opts.MaxBlockVisits {
+			continue // loop bound reached; abandon path
+		}
+		vk := visitKey{block: f.block.ID, fp: f.state.Fingerprint()}
+		if ex.visited[vk] {
+			continue // already explored this block with this state
+		}
+		ex.visited[vk] = true
+
+		pc := &pathCtx{ex: ex, state: f.state, trace: f.trace, values: map[minic.Expr]sym.Value{}}
+		for _, s := range f.block.Stmts {
+			pc.values = map[minic.Expr]sym.Value{}
+			ex.execStmt(pc, s)
+			if pc.dead {
+				break
+			}
+		}
+		if pc.dead {
+			ex.res.Paths++
+			continue
+		}
+		switch t := f.block.Term.(type) {
+		case *cfg.Return:
+			pc.values = map[minic.Expr]sym.Value{}
+			var rv sym.Value
+			if t.X != nil {
+				rv = ex.evalExpr(pc, t.X)
+			}
+			ev := &checker.ReturnEvent{Expr: t.X, Value: rv, Pos: t.Pos}
+			ex.forEachChecker(pc, t.Pos, func(ck checker.Checker, c *checker.Context) {
+				if ec, ok := ck.(checker.EndFunctionChecker); ok {
+					ec.CheckEndFunction(ev, c)
+				}
+			})
+			ex.res.Paths++
+		case *cfg.Jump:
+			stack = append(stack, &frame{block: t.To, state: pc.state, visits: cloneVisits(f.visits), trace: pc.trace})
+		case *cfg.Branch:
+			pc.values = map[minic.Expr]sym.Value{}
+			ex.evalExpr(pc, t.Cond) // populate value cache (with side effects once)
+			ex.forEachChecker(pc, t.Pos, func(ck checker.Checker, c *checker.Context) {
+				if bc, ok := ck.(checker.BranchChecker); ok {
+					bc.CheckBranchCondition(t.Cond, c)
+				}
+			})
+			condDesc := minic.FormatExpr(t.Cond)
+			if st := ex.assume(pc, t.Cond, false); st != nil {
+				tr := appendTrace(ex.opts, pc.trace, checker.TraceStep{Pos: t.Pos, Note: "assuming '" + condDesc + "' is false"})
+				stack = append(stack, &frame{block: t.Else, state: st, visits: cloneVisits(f.visits), trace: tr})
+			} else {
+				ex.res.Paths++
+			}
+			if st := ex.assume(pc, t.Cond, true); st != nil {
+				tr := appendTrace(ex.opts, pc.trace, checker.TraceStep{Pos: t.Pos, Note: "assuming '" + condDesc + "' is true"})
+				stack = append(stack, &frame{block: t.Then, state: st, visits: cloneVisits(f.visits), trace: tr})
+			} else {
+				ex.res.Paths++
+			}
+		}
+	}
+}
+
+func cloneVisits(m map[int]int) map[int]int {
+	out := make(map[int]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// appendTrace appends without sharing backing arrays between paths.
+func appendTrace(opts Options, trace []checker.TraceStep, step checker.TraceStep) []checker.TraceStep {
+	if len(trace) >= opts.MaxTrace {
+		return trace
+	}
+	out := make([]checker.TraceStep, len(trace), len(trace)+1)
+	copy(out, trace)
+	return append(out, step)
+}
+
+// pathCtx is the mutable evaluation context for one block execution on
+// one path.
+type pathCtx struct {
+	ex     *exec
+	state  *sym.State
+	values map[minic.Expr]sym.Value
+	trace  []checker.TraceStep
+	dead   bool
+}
+
+// forEachChecker invokes fn for every registered checker with a fresh
+// Context, propagating state updates and report emission.
+func (ex *exec) forEachChecker(pc *pathCtx, pos minic.Pos, fn func(checker.Checker, *checker.Context)) {
+	for _, ck := range ex.opts.Checkers {
+		ex.activeChecker = ck.Name()
+		c := checker.NewContext(ex.arena, pc.state, pc.values, pc.trace,
+			ex.fn.Name, ex.file.Name, pos, ex.decls, ex.addReport)
+		fn(ck, c)
+		pc.state = c.State()
+	}
+	ex.activeChecker = ""
+}
+
+func (ex *exec) addReport(r *checker.Report) {
+	k := r.Key()
+	if _, dup := ex.reports[k]; dup {
+		return
+	}
+	ex.reports[k] = r
+	ex.res.Reports = append(ex.res.Reports, r)
+	sort.SliceStable(ex.res.Reports, func(i, j int) bool {
+		a, b := ex.res.Reports[i], ex.res.Reports[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Checker < b.Checker
+	})
+}
+
+// execStmt executes one simple statement on the current path.
+func (ex *exec) execStmt(pc *pathCtx, s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.DeclStmt:
+		r := ex.arena.VarRegion(st.Name, st.Pos)
+		ex.decls[st.Name] = st.Type
+		ex.localDeclared[st.Name] = true
+		if st.Type.IsArray() {
+			ex.arena.SetArrayLen(r, st.Type.ArrayLen)
+		}
+		ex.forEachChecker(pc, st.Pos, func(ck checker.Checker, c *checker.Context) {
+			if dc, ok := ck.(checker.DeclChecker); ok {
+				dc.CheckDecl(st, r, c)
+			}
+		})
+		if st.Init != nil {
+			v := ex.evalExpr(pc, st.Init)
+			ev := &checker.BindEvent{Region: r, Value: v, IsInit: true, RHS: st.Init, Pos: st.Pos}
+			ex.forEachChecker(pc, st.Pos, func(ck checker.Checker, c *checker.Context) {
+				if bc, ok := ck.(checker.BindChecker); ok {
+					bc.CheckBind(ev, c)
+				}
+			})
+			pc.state = pc.state.BindRegion(r, v)
+		}
+	case *minic.ExprStmt:
+		ex.evalExpr(pc, st.X)
+	default:
+		// cfg lowering leaves only Decl/Expr statements in blocks.
+	}
+}

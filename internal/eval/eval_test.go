@@ -1,0 +1,244 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"knighter/internal/kernel"
+)
+
+var (
+	evalOnce sync.Once
+	evalH    *Harness
+	evalT1   *Table1Result
+	evalBugs *BugDetectionResult
+)
+
+// sharedHarness runs the (fairly expensive) pipeline once for all tests
+// in this package, on a reduced-scale corpus.
+func sharedHarness(t *testing.T) (*Harness, *Table1Result, *BugDetectionResult) {
+	t.Helper()
+	evalOnce.Do(func() {
+		cfg := DefaultConfig()
+		cfg.CorpusScale = 0.2
+		h, err := NewHarness(cfg)
+		if err != nil {
+			panic(err)
+		}
+		evalH = h
+		evalT1 = h.RunTable1()
+		evalBugs = h.RunBugDetection(evalT1.Outcomes)
+	})
+	return evalH, evalT1, evalBugs
+}
+
+func TestTable1Shape(t *testing.T) {
+	_, t1, _ := sharedHarness(t)
+	total := 0
+	for _, row := range t1.Rows {
+		total += row.Total
+		if row.Invalid+row.Direct+row.Refined+row.Fail != row.Total {
+			t.Errorf("row %s does not sum: %+v", row.Class, row)
+		}
+	}
+	if total != 61 {
+		t.Errorf("total commits = %d, want 61", total)
+	}
+	if t1.ValidCount != 39 {
+		t.Errorf("valid checkers = %d, want 39 (paper)", t1.ValidCount)
+	}
+	if t1.FailedAttempts == 0 || t1.CompileErrs == 0 || t1.SemanticErrs == 0 {
+		t.Errorf("failure telemetry empty: %+v", t1)
+	}
+	if t1.AvgAttempts < 1.5 || t1.AvgAttempts > 4.0 {
+		t.Errorf("avg attempts = %.1f, expected near the paper's 2.4", t1.AvgAttempts)
+	}
+	if t1.Usage.Calls == 0 || t1.CostUSD <= 0 {
+		t.Error("usage accounting missing")
+	}
+}
+
+func TestTable1FailuresLandOnPaperClasses(t *testing.T) {
+	// The plausibility criterion samples 5 warnings, so which checkers
+	// end as refinement failures is sample-sensitive at reduced corpus
+	// scale; the stable invariant is that the NPD devm_ioremap checker
+	// (whose WARN_ON bait is outside the refinement repertoire) always
+	// fails, and failures stay rare. The full-scale run (EXPERIMENTS.md)
+	// lands on exactly the paper's one-NPD-one-Double-Free split.
+	_, t1, _ := sharedHarness(t)
+	fails := map[string]int{}
+	total := 0
+	for _, row := range t1.Rows {
+		if row.Fail > 0 {
+			fails[row.Class] = row.Fail
+			total += row.Fail
+		}
+	}
+	if fails[kernel.ClassNPD] != 1 {
+		t.Errorf("refinement failures = %v, want the NPD WARN_ON checker to fail", fails)
+	}
+	if total > 4 {
+		t.Errorf("refinement failures = %d, expected rare (paper: 2)", total)
+	}
+}
+
+func TestBugDetectionShape(t *testing.T) {
+	h, _, bugs := sharedHarness(t)
+	total, confirmed, fixed, pending, cve := bugs.Table2()
+	if total != 92 {
+		t.Errorf("bugs found = %d, want 92", total)
+	}
+	if confirmed+pending != total || fixed > confirmed || cve > confirmed {
+		t.Errorf("status model inconsistent: %d/%d/%d/%d/%d", total, confirmed, fixed, pending, cve)
+	}
+	if bugs.FPRate() < 0.15 || bugs.FPRate() > 0.5 {
+		t.Errorf("FP rate = %.2f, expected near the paper's 0.32", bugs.FPRate())
+	}
+	// Fig 9a must match the paper's distribution exactly (the corpus
+	// seeds it and the checkers must recover all of it).
+	classes, hand, auto := bugs.Fig9a()
+	want := map[string]int{
+		kernel.ClassNPD: 54, kernel.ClassIntOver: 16, kernel.ClassMisuse: 7,
+		kernel.ClassConcurrency: 4, kernel.ClassOOB: 3, kernel.ClassMemLeak: 3,
+		kernel.ClassBufOver: 3, kernel.ClassUAF: 1, kernel.ClassUBI: 1,
+	}
+	for cls, n := range want {
+		if hand[cls]+auto[cls] != n {
+			t.Errorf("Fig9a %s = %d, want %d", cls, hand[cls]+auto[cls], n)
+		}
+	}
+	if hand[kernel.ClassNPD] != 24 || auto[kernel.ClassNPD] != 30 {
+		t.Errorf("NPD split = %d hand / %d auto, want 24/30", hand[kernel.ClassNPD], auto[kernel.ClassNPD])
+	}
+	if len(classes) != len(want) {
+		t.Errorf("classes = %v", classes)
+	}
+	// Fig 9b: drivers dominate.
+	subs, counts := bugs.Fig9b()
+	if subs[0] != "drivers" || counts["drivers"] != 67 {
+		t.Errorf("Fig9b top = %s/%d, want drivers/67", subs[0], counts[subs[0]])
+	}
+	// Fig 9c mean near 4.3 years.
+	_, mean := bugs.Fig9c(func(b kernel.SeededBug) float64 {
+		return h.Corpus.NowDate.Sub(b.Introduced).Hours() / 24 / 365.25
+	})
+	if mean < 3.5 || mean > 6.0 {
+		t.Errorf("mean lifetime = %.1f", mean)
+	}
+	// Fig 9d: long tail with several >= 5.
+	counts9d := bugs.Fig9d()
+	if len(counts9d) == 0 || counts9d[0] < 5 {
+		t.Errorf("Fig9d head = %v", counts9d)
+	}
+}
+
+func TestOrthogonalityZeroOverlap(t *testing.T) {
+	h, _, bugs := sharedHarness(t)
+	orth, err := h.RunOrthogonality(bugs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if orth.Overlap != 0 {
+		t.Errorf("overlap = %d, want 0 (RQ3)", orth.Overlap)
+	}
+	if orth.SmatchErrors+orth.SmatchWarnings == 0 {
+		t.Error("baseline produced no findings at all")
+	}
+}
+
+func TestTriageEvalZeroFalseNegatives(t *testing.T) {
+	h, t1, _ := sharedHarness(t)
+	tr := h.RunTriageEval(t1.Outcomes)
+	if tr.FN != 0 {
+		t.Errorf("false negatives = %d, want 0 (§5.4.1)", tr.FN)
+	}
+	if tr.SampledReports == 0 || tr.ReportingCheckers == 0 {
+		t.Errorf("triage eval sampled nothing: %+v", tr)
+	}
+	// Majority voting must not lose true positives.
+	if tr.TPAt3 != tr.TP || tr.TPAt4 != tr.TP {
+		t.Errorf("majority voting changed TP count: single=%d t3=%d t4=%d", tr.TP, tr.TPAt3, tr.TPAt4)
+	}
+}
+
+func TestAblationOrdering(t *testing.T) {
+	h, _, _ := sharedHarness(t)
+	abl := h.RunAblation()
+	if len(abl.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(abl.Rows))
+	}
+	byName := map[string]AblationRow{}
+	for _, row := range abl.Rows {
+		byName[row.Variant] = row
+	}
+	def := byName["Default"]
+	ss := byName["W/o multi-stage"]
+	gem := byName["W/ Gemini-2-flash"]
+	if def.Valid <= ss.Valid {
+		t.Errorf("multi-stage (%d) must beat single-stage (%d)", def.Valid, ss.Valid)
+	}
+	if ss.Syntax <= def.Syntax {
+		t.Errorf("single-stage should produce more syntax errors (%d vs %d)", ss.Syntax, def.Syntax)
+	}
+	if gem.Valid >= def.Valid {
+		t.Errorf("gemini (%d) should trail the default (%d)", gem.Valid, def.Valid)
+	}
+	if gem.Syntax <= def.Syntax {
+		t.Errorf("gemini should be dominated by syntax errors (%d vs %d)", gem.Syntax, def.Syntax)
+	}
+	if len(abl.Sample) != 20 {
+		t.Errorf("ablation sample = %d commits, want 20", len(abl.Sample))
+	}
+}
+
+func TestRendersContainHeadlineNumbers(t *testing.T) {
+	h, t1, bugs := sharedHarness(t)
+	if !strings.Contains(t1.Render(), "Valid checkers: 39") {
+		t.Error("table 1 render missing valid count")
+	}
+	r2 := bugs.Render(h.Corpus)
+	for _, want := range []string{"Table 2", "Figure 9a", "Figure 9b", "Figure 9c", "Figure 9d"} {
+		if !strings.Contains(r2, want) {
+			t.Errorf("bug render missing %q", want)
+		}
+	}
+}
+
+func TestDeterminismAcrossHarnesses(t *testing.T) {
+	_, t1, _ := sharedHarness(t)
+	cfg := DefaultConfig()
+	cfg.CorpusScale = 0.2
+	h2, err := NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1b := h2.RunTable1()
+	if t1.Render() != t1b.Render() {
+		t.Error("Table 1 not reproducible across harnesses")
+	}
+}
+
+func TestSampleAblationCommitsSeeded(t *testing.T) {
+	h, _, _ := sharedHarness(t)
+	a := SampleAblationCommits(h.Hand, 0)
+	b := SampleAblationCommits(h.Hand, 0)
+	if len(a) != 20 {
+		t.Fatalf("sample size = %d", len(a))
+	}
+	for i := range a {
+		if a[i].ID != b[i].ID {
+			t.Fatal("sampling not deterministic")
+		}
+	}
+	c := SampleAblationCommits(h.Hand, 7)
+	different := false
+	for i := range a {
+		if a[i].ID != c[i].ID {
+			different = true
+		}
+	}
+	if !different {
+		t.Error("different seeds produced identical samples")
+	}
+}

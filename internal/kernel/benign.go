@@ -1,0 +1,314 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// BaitKind labels the false-positive-bait idioms: correct code that naive
+// (pre-refinement) checkers flag. Each kind corresponds to a defect the
+// simulated LLM can leave in a first-draft checker.
+type BaitKind string
+
+// Bait kinds.
+const (
+	// BaitUnlikelyCheck: allocation checked via if (unlikely(!p)) — an FP
+	// for NPD checkers that do not unwrap annotation macros (paper Fig 7).
+	BaitUnlikelyCheck BaitKind = "unlikely-check"
+	// BaitHelperBound: multiplication bounded by a comparison against a
+	// runtime limit the range engine cannot fold — an FP for overflow
+	// checkers missing the boundcheck guard.
+	BaitHelperBound BaitKind = "helper-bound"
+	// BaitCleanupAssigned: __free pointer assigned on every path — an FP
+	// for UBI checkers missing the assign-initializes guard (Fig 8b).
+	BaitCleanupAssigned BaitKind = "cleanup-assigned"
+	// BaitTerminatedBuf: user buffer explicitly NUL-terminated — an FP
+	// for misuse checkers missing the terminate guard.
+	BaitTerminatedBuf BaitKind = "terminated-buf"
+	// BaitWarnOnCheck: allocation checked via if (WARN_ON(!p)) — remains
+	// an FP even for refined checkers (only unlikely/likely are
+	// unwrapped); these are the residual FPs the triage agent faces.
+	BaitWarnOnCheck BaitKind = "warn-on-check"
+	// BaitFreeReassign: pointer freed, reallocated, then used — an FP
+	// for UAF checkers without alias (value) tracking.
+	BaitFreeReassign BaitKind = "free-reassign"
+	// BaitFreeClearFree: pointer freed, cleared to NULL, then passed to
+	// the free function again (a safe kernel idiom) — an FP for
+	// double-free checkers without alias tracking.
+	BaitFreeClearFree BaitKind = "free-clear-free"
+	// BaitFreeReinitFree: freed handle reinitialized by a helper call
+	// the intraprocedural analysis cannot see into, then released again
+	// — correct code that even an alias-tracking double-free checker
+	// flags. This FP class is outside the refinement agent's repertoire,
+	// producing the paper's unrefinable checkers.
+	BaitFreeReinitFree BaitKind = "free-reinit-free"
+	// BaitIrqRangeCheck: an IRQ number validated against a
+	// device-specific helper bound rather than a plain `< 0` check — an
+	// FP for sign checkers missing the boundcheck guard.
+	BaitIrqRangeCheck BaitKind = "irq-range-check"
+)
+
+// baitFunc renders one bait function for a flavor. The code is CORRECT —
+// any report against it is a false positive by construction.
+func baitFunc(kind BaitKind, flavor string, nm *NameSet, r *rand.Rand) string {
+	switch kind {
+	case BaitUnlikelyCheck:
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev, char *name)
+{
+	struct %s *%s;
+	%s = %s;
+	if (unlikely(!%s))
+		return -ENOMEM;
+	%s->%s = 1;
+	platform_set_drvdata(pdev, %s);
+	return 0;
+}
+`, nm.Fn, nm.Struct, nm.Ptr, nm.Ptr, allocCall(flavor, fmt.Sprintf("sizeof(struct %s)", nm.Struct)), nm.Ptr, nm.Ptr, nm.Field, nm.Ptr)
+	case BaitWarnOnCheck:
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev, char *name)
+{
+	struct %s *%s;
+	%s = %s;
+	if (WARN_ON(!%s))
+		return -ENOMEM;
+	%s->%s = 1;
+	platform_set_drvdata(pdev, %s);
+	return 0;
+}
+`, nm.Fn, nm.Struct, nm.Ptr, nm.Ptr, allocCall(flavor, fmt.Sprintf("sizeof(struct %s)", nm.Struct)), nm.Ptr, nm.Ptr, nm.Field, nm.Ptr)
+	case BaitHelperBound:
+		elem := []int{8, 16, 32}[r.Intn(3)]
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev, size_t %s)
+{
+	u8 *table;
+	if (%s > %s_max_entries(pdev))
+		return -EINVAL;
+	table = %s;
+	if (!table)
+		return -ENOMEM;
+	setup_table(pdev, table);
+	kfree(table);
+	return 0;
+}
+`, nm.Fn, nm.Size, nm.Size, nm.Chip, allocCall(flavor, fmt.Sprintf("%s * %d", nm.Size, elem)))
+	case BaitCleanupAssigned:
+		return fmt.Sprintf(`static int %s(struct device *dev)
+{
+	struct %s *%s __free(%s);
+	%s = kzalloc(sizeof(struct %s), GFP_KERNEL);
+	if (!%s)
+		return -ENOMEM;
+	%s_apply(dev, %s);
+	return 0;
+}
+`, nm.Fn, nm.Struct, nm.Ptr, flavor, nm.Ptr, nm.Struct, nm.Ptr, nm.Chip, nm.Ptr)
+	case BaitFreeReassign:
+		return fmt.Sprintf(`static int %s(struct %s *dev)
+{
+	%s(dev->base);
+	dev->base = kmalloc(%d, GFP_KERNEL);
+	if (!dev->base)
+		return -ENOMEM;
+	dev->base[0] = 1;
+	return 0;
+}
+`, nm.Fn, nm.Struct, flavor, nm.BufLen)
+	case BaitFreeClearFree:
+		return fmt.Sprintf(`static void %s(struct %s *dev, int err)
+{
+	%s(dev->base);
+	dev->base = NULL;
+	if (err)
+		%s(dev->base);
+}
+`, nm.Fn, nm.Struct, flavor, flavor)
+	case BaitFreeReinitFree:
+		return fmt.Sprintf(`static void %s(struct %s *dev, int err)
+{
+	%s(dev->base);
+	if (%s_reinit(dev))
+		%s(dev->base);
+}
+`, nm.Fn, nm.Struct, flavor, nm.Chip, flavor)
+	case BaitIrqRangeCheck:
+		consumer := "request_irq"
+		if flavor == "of_irq_get" {
+			consumer = "devm_request_irq"
+		}
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev)
+{
+	int irq;
+	irq = %s(pdev, 0);
+	if (irq > %s_last_irq(pdev))
+		return -EINVAL;
+	return %s(irq, %s_isr);
+}
+`, nm.Fn, flavor, nm.Chip, consumer, nm.Chip)
+	case BaitTerminatedBuf:
+		return fmt.Sprintf(`static ssize_t %s_store(struct device *dev, char *ubuf, size_t %s)
+{
+	char %s[%d];
+	int val;
+	if (%s > sizeof(%s) - 1)
+		return -EINVAL;
+	if (copy_from_user(%s, ubuf, %s))
+		return -EFAULT;
+	%s[%s] = 0;
+	sscanf(%s, "%%d", &val);
+	return %s;
+}
+`, nm.Fn, nm.Size, nm.Buf, nm.BufLen, nm.Size, nm.Buf, nm.Buf, nm.Size, nm.Buf, nm.Size, nm.Buf, nm.Size)
+	}
+	return ""
+}
+
+// benignFunc renders plain correct driver code: the bulk of the corpus.
+func benignFunc(nm *NameSet, r *rand.Rand) string {
+	switch r.Intn(10) {
+	case 0: // guarded allocation, plain check
+		flavors := []string{"kzalloc", "kmalloc", "devm_kzalloc", "kcalloc"}
+		f := flavors[r.Intn(len(flavors))]
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev)
+{
+	struct %s *%s;
+	%s = %s;
+	if (!%s)
+		return -ENOMEM;
+	%s->%s = 0;
+	platform_set_drvdata(pdev, %s);
+	return 0;
+}
+`, nm.Fn, nm.Struct, nm.Ptr, nm.Ptr, allocCall(f, fmt.Sprintf("sizeof(struct %s)", nm.Struct)), nm.Ptr, nm.Ptr, nm.Field, nm.Ptr)
+	case 1: // register read/modify/write
+		return fmt.Sprintf(`static int %s(struct %s *dev, u32 mask)
+{
+	u32 val;
+	val = readl(dev->base);
+	val = val | mask;
+	writel(val, dev->base);
+	return 0;
+}
+`, nm.Fn, nm.Struct)
+	case 2: // bounded loop
+		return fmt.Sprintf(`static int %s(struct %s *dev, int n)
+{
+	int total = 0;
+	for (int i = 0; i < n; i++)
+		total += %s_sample(dev, i);
+	return total;
+}
+`, nm.Fn, nm.Struct, nm.Chip)
+	case 3: // balanced locking
+		return fmt.Sprintf(`static void %s(struct %s *dev, int val)
+{
+	spin_lock(&dev->%s);
+	dev->%s = val;
+	spin_unlock(&dev->%s);
+}
+`, nm.Fn, nm.Struct, nm.Lock, nm.Field, nm.Lock)
+	case 4: // getter with validation
+		return fmt.Sprintf(`static int %s(struct %s *dev, int %s)
+{
+	if (%s < 0 || %s >= %d)
+		return -EINVAL;
+	return dev->%s + %s;
+}
+`, nm.Fn, nm.Struct, nm.Idx, nm.Idx, nm.Idx, nm.TabLen, nm.Field, nm.Idx)
+	case 5: // bounded copy with explicit clamp
+		return fmt.Sprintf(`static ssize_t %s_write(struct file *file, char *ubuf, size_t %s)
+{
+	char %s[%d];
+	size_t n;
+	n = min(%s, sizeof(%s) - 1);
+	if (copy_from_user(%s, ubuf, n))
+		return -EFAULT;
+	%s[n] = 0;
+	return n;
+}
+`, nm.Fn, nm.Size, nm.Buf, nm.BufLen, nm.Size, nm.Buf, nm.Buf, nm.Buf)
+	case 6: // alloc + full cleanup on both paths
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev)
+{
+	u8 *%s;
+	int ret;
+	%s = kmalloc(%d, GFP_KERNEL);
+	if (!%s)
+		return -ENOMEM;
+	ret = %s_hw_init(pdev);
+	if (ret) {
+		kfree(%s);
+		return ret;
+	}
+	kfree(%s);
+	return 0;
+}
+`, nm.Fn, nm.Buf, nm.Buf, nm.BufLen, nm.Buf, nm.Chip, nm.Buf, nm.Buf)
+	case 7: // switch-based command dispatch (kernel ioctl style)
+		return fmt.Sprintf(`static int %s(struct %s *dev, int cmd)
+{
+	int ret;
+	switch (cmd) {
+	case 0:
+		ret = %s_start(dev);
+		break;
+	case 1:
+		dev->%s = 2;
+		ret = 0;
+		break;
+	default:
+		ret = -EINVAL;
+		break;
+	}
+	return ret;
+}
+`, nm.Fn, nm.Struct, nm.Chip, nm.Field)
+	case 8: // goto-based unwind ladder
+		return fmt.Sprintf(`static int %s(struct platform_device *pdev)
+{
+	u8 *%s;
+	int ret;
+	%s = kmalloc(%d, GFP_KERNEL);
+	if (!%s)
+		return -ENOMEM;
+	ret = %s_hw_init(pdev);
+	if (ret)
+		goto %s;
+	ret = %s_start(pdev);
+	if (ret)
+		goto %s;
+	kfree(%s);
+	return 0;
+%s:
+	kfree(%s);
+	return ret;
+}
+`, nm.Fn, nm.Buf, nm.Buf, nm.BufLen, nm.Buf, nm.Chip, nm.Label, nm.Chip,
+			nm.Label, nm.Buf, nm.Label, nm.Buf)
+	default: // state machine step
+		return fmt.Sprintf(`static int %s(struct %s *dev)
+{
+	int state = dev->%s;
+	if (state == 0)
+		return %s_start(dev);
+	if (state == 1) {
+		dev->%s = 2;
+		return 0;
+	}
+	return -EBUSY;
+}
+`, nm.Fn, nm.Struct, nm.Field, nm.Chip, nm.Field)
+	}
+}
+
+// structDecls renders the shared struct declarations a corpus file needs
+// so that every generated function body type-resolves.
+func structDecls(nm *NameSet) string {
+	return fmt.Sprintf(`struct %s {
+	int %s;
+	int %s;
+	int %s;
+	u8 *base;
+	struct regulator *supply;
+};
+`, nm.Struct, nm.Field, nm.Field2, nm.Lock)
+}

@@ -1,0 +1,143 @@
+package kernel
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"knighter/internal/vcs"
+)
+
+// handCommitPlan is the labeled 61-commit benchmark dataset (paper
+// Table 1 distribution: NPD 6, Integer-Overflow 7, Out-of-Bound 6,
+// Buffer-Overflow 5, Memory-Leak 5, Use-After-Free 7, Double-Free 8,
+// UBI 5, Concurrency 5, Misuse 7).
+var handCommitPlan = []struct{ class, flavor string }{
+	// NPD (6)
+	{ClassNPD, "devm_kzalloc"}, {ClassNPD, "kzalloc"}, {ClassNPD, "kmalloc"},
+	{ClassNPD, "kcalloc"}, {ClassNPD, "kstrdup"}, {ClassNPD, "devm_ioremap"},
+	// Integer-Overflow (7)
+	{ClassIntOver, "kmalloc"}, {ClassIntOver, "kzalloc"}, {ClassIntOver, "kvmalloc"},
+	{ClassIntOver, "vmalloc"}, {ClassIntOver, "dma_alloc_coherent"},
+	{ClassIntOver, "sock_kmalloc"}, {ClassIntOver, "usb_alloc_coherent"},
+	// Out-of-Bound (6)
+	{ClassOOB, "le16_to_cpu"}, {ClassOOB, "le32_to_cpu"}, {ClassOOB, "be16_to_cpu"},
+	{ClassOOB, "get_unaligned_le16"}, {ClassOOB, "simple_strtoul"}, {ClassOOB, "hex_to_bin"},
+	// Buffer-Overflow (5) — one copy_from_user pattern, five contexts.
+	{ClassBufOver, "debugfs"}, {ClassBufOver, "sysfs"}, {ClassBufOver, "procfs"},
+	{ClassBufOver, "tracefs"}, {ClassBufOver, "netdevsim"},
+	// Memory-Leak (5)
+	{ClassMemLeak, "kmalloc"}, {ClassMemLeak, "kzalloc"}, {ClassMemLeak, "kmemdup"},
+	{ClassMemLeak, "vmalloc"}, {ClassMemLeak, "kvzalloc"},
+	// Use-After-Free (7)
+	{ClassUAF, "free_netdev"}, {ClassUAF, "usb_free_urb"}, {ClassUAF, "kfree"},
+	{ClassUAF, "vfree"}, {ClassUAF, "kvfree"}, {ClassUAF, "mmc_free_host"},
+	{ClassUAF, "dma_free_coherent"},
+	// Double-Free (8)
+	{ClassDoubleFree, "kfree"}, {ClassDoubleFree, "vfree"}, {ClassDoubleFree, "kvfree"},
+	{ClassDoubleFree, "usb_free_urb"}, {ClassDoubleFree, "bio_put"},
+	{ClassDoubleFree, "mmc_free_host"}, {ClassDoubleFree, "sock_release"},
+	{ClassDoubleFree, "crypto_free_shash"},
+	// UBI (5)
+	{ClassUBI, "kfree"}, {ClassUBI, "x509_free_certificate"},
+	{ClassUBI, "fwnode_handle_put"}, {ClassUBI, "bitmap_free"}, {ClassUBI, "put_device"},
+	// Concurrency (5)
+	{ClassConcurrency, "spin_lock"}, {ClassConcurrency, "mutex_lock"},
+	{ClassConcurrency, "spin_lock_irqsave"}, {ClassConcurrency, "read_lock"},
+	{ClassConcurrency, "write_lock"},
+	// Misuse (7)
+	{ClassMisuse, "sscanf_unterminated"}, {ClassMisuse, "platform_get_irq"},
+	{ClassMisuse, "of_irq_get"}, {ClassMisuse, "strscpy_nul"},
+	{ClassMisuse, "sscanf_unterminated"}, {ClassMisuse, "platform_get_irq"},
+	{ClassMisuse, "strscpy_nul"},
+}
+
+// autoNPDFlavors are the allocator flavors covered by the keyword-based
+// auto-collection of NPD commits (§5.2): a mix of new flavors and
+// repeats of the hand-labeled ones.
+var autoNPDFlavors = []string{
+	"devm_kcalloc", "kmemdup", "vzalloc", "kvzalloc", "devm_kmalloc",
+	"kzalloc_node", "alloc_workqueue", "devm_kstrdup",
+	"devm_kzalloc", "kzalloc", "kmalloc", "kcalloc",
+}
+
+// BuildHandCommits renders the 61-commit labeled benchmark.
+func BuildHandCommits(seed int64) *vcs.Store {
+	r := rand.New(rand.NewSource(seed))
+	store := vcs.NewStore()
+	seq := map[string]int{}
+	for i, plan := range handCommitPlan {
+		c := renderCommit(r, plan.class, plan.flavor, false, i)
+		key := plan.class + "/" + plan.flavor
+		c.Seq = seq[key]
+		seq[key]++
+		store.Add(c)
+	}
+	return store
+}
+
+// BuildAutoNPDCommits renders n keyword-collected NPD commits.
+func BuildAutoNPDCommits(seed int64, n int) *vcs.Store {
+	r := rand.New(rand.NewSource(seed))
+	store := vcs.NewStore()
+	seq := map[string]int{}
+	for i := 0; i < n; i++ {
+		flavor := autoNPDFlavors[i%len(autoNPDFlavors)]
+		c := renderCommit(r, ClassNPD, flavor, true, i)
+		c.Seq = seq[flavor]
+		seq[flavor]++
+		store.Add(c)
+	}
+	return store
+}
+
+func renderCommit(r *rand.Rand, class, flavor string, auto bool, idx int) *vcs.Commit {
+	pat := PatternFor(class, flavor)
+	if pat == nil {
+		panic("kernel: no pattern for commit " + class + "/" + flavor)
+	}
+	sub := "drivers"
+	roll := r.Intn(10)
+	switch {
+	case roll == 7:
+		sub = "sound"
+	case roll == 8:
+		sub = "net"
+	case roll == 9:
+		sub = "fs"
+	}
+	nm := newNames(r, sub)
+	buggy, fixed := pat.Render(nm, r)
+	fnName := renderedFuncName(buggy, nm.Fn)
+	file := filePathFor(sub, nm, r.Intn(6))
+
+	// Roughly a quarter of real commit messages are terse one-liners;
+	// the rest explain the root cause like paper Fig. 4.
+	detailed := r.Float64() > 0.25
+	body := ""
+	if detailed {
+		body = fmt.Sprintf(pat.DetailBody, fnName, flavor)
+	}
+	subjPrefix := strings.TrimSuffix(strings.TrimPrefix(file, sub+"/"), ".c")
+	subj := fmt.Sprintf("%s: %s: %s", sub, subjPrefix, pat.Subject)
+
+	// Author dates fall in the few years before the evaluation window.
+	days := 60 + r.Intn(1400)
+	date := time.Date(2025, 1, 15, 0, 0, 0, 0, time.UTC).AddDate(0, 0, -days)
+
+	return &vcs.Commit{
+		Subject:       subj,
+		Body:          body,
+		File:          file,
+		Subsystem:     sub,
+		FuncName:      fnName,
+		Class:         class,
+		Flavor:        flavor,
+		Detailed:      detailed,
+		AutoCollected: auto,
+		Before:        buggy,
+		After:         fixed,
+		AuthorDate:    date,
+	}
+}

@@ -1,0 +1,183 @@
+package llm
+
+import (
+	"fmt"
+	"strings"
+
+	"knighter/internal/vcs"
+)
+
+// The prompt templates mirror paper Figure 5. The simulated models do not
+// "read" them (their behaviour is driven by the structural patch analysis
+// in facts.go), but the pipeline assembles them exactly as the real
+// system would, and token/cost accounting is computed from them — so the
+// resource-efficiency numbers of §5.1 have a faithful basis.
+
+const patternPromptTemplate = `# Instruction
+You will be provided with a patch in Linux kernel.
+Please analyze the patch and find out the **bug pattern** in this patch.
+A **bug pattern** is the root cause of this bug, meaning that programs
+with this pattern will have a great possibility of having the same bug.
+Note that the bug pattern should be specific and accurate, which can be
+used to identify the buggy code provided in the patch.
+
+# Examples
+%s
+
+# Target Patch
+%s
+`
+
+const planPromptTemplate = `# Instruction
+Please organize an elaborate plan to help to write a checker to detect
+such **bug pattern**.
+
+# Utility Functions
+%s
+
+# Examples
+%s
+
+# Target Patch
+%s
+
+# Target Pattern
+%s
+`
+
+const implementPromptTemplate = `# Instruction
+Implement the checker following the plan, using the checker template.
+
+# Checker Template
+checker <name> {
+  bugtype "<category>"
+  description "<one line>"
+  source { ... }
+  guard { ... }
+  sink { ... }
+}
+
+# Utility Functions
+%s
+
+# Plan
+%s
+
+# Target Patch
+%s
+`
+
+const repairPromptTemplate = `# Instruction
+The checker below fails to compile. Fix the compilation error and return
+the corrected checker.
+
+# Compiler Output
+%s
+
+# Checker
+%s
+`
+
+const triagePromptTemplate = `# Instruction
+Determine whether the static analyzer report is a real bug in the Linux
+kernel and matches the target bug pattern.
+- Compare the report against the target bug pattern, using the buggy
+  function (pre-patch) and the fix patch as the reference.
+- Explain your reasoning for classifying this as either:
+  - TP (matches the target bug pattern and is a real bug), or
+  - FP (does not match the target pattern or not a real bug).
+
+# Patch
+%s
+
+# Target Pattern
+%s
+
+# Report
+%s
+`
+
+const refinePromptTemplate = `# Instruction
+The checker below produced the false-positive reports listed. Refine the
+checker so it no longer reports these cases while still detecting the
+original bug pattern.
+
+# Checker
+%s
+
+# False Positives
+%s
+`
+
+// utilityFunctions is the curated helper library of §4 ("9 utility
+// functions"), included in plan/implementation prompts.
+var utilityFunctions = []string{
+	"getMemRegionFromExpr(expr) — resolve the memory region an expression denotes",
+	"exprHasName(expr, name) — whether a call expression targets the named function",
+	"markRegionChecked(state, region) — record that a region passed a guard",
+	"regionIsTracked(state, map, region) — look up a region in a checker state map",
+	"valueRangeOf(state, value) — the interval constraint on a symbolic value",
+	"unwrapAnnotations(expr, names...) — see through unlikely()/likely() wrappers",
+	"bufferLengthOf(region) — declared fixed length of an array region",
+	"derivedRegionsOf(state, region) — regions recorded as derived from a base object",
+	"reportAtAccess(ctx, msg, region) — emit a bug report at the current access",
+}
+
+// fewShotExamples summarizes the three hand-written end-to-end examples
+// of §4 (commits 3027e7b15b02, 3948abaa4e2b, 4575962aeed6).
+var fewShotExamples = `Example 1 (3027e7b15b02, Null-Pointer-Dereference): track the return
+value of an allocator in a state map, mark it on null checks, report
+dereferences of unchecked values.
+Example 2 (3948abaa4e2b, Use-Before-Initialization): track declarations
+without initializers, clear on assignment, report uses while possibly
+uninitialized.
+Example 3 (4575962aeed6, Double-Free): mark freed arguments, report a
+second free of the same object.`
+
+// PatternPrompt renders the Figure 5a prompt for a commit.
+func PatternPrompt(c *vcs.Commit, ragExamples bool) string {
+	ex := fewShotExamples
+	if ragExamples {
+		// The RAG variant retrieves three full official checkers, which
+		// are substantially longer than the curated examples (§5.4.2);
+		// modeled as a longer examples section.
+		ex = strings.Repeat(fewShotExamples+"\n(retrieved official checker source elided)\n", 3)
+	}
+	return fmt.Sprintf(patternPromptTemplate, ex, patchSection(c))
+}
+
+// PlanPrompt renders the Figure 5b prompt.
+func PlanPrompt(c *vcs.Commit, pattern string, ragExamples bool) string {
+	ex := fewShotExamples
+	if ragExamples {
+		ex = strings.Repeat(fewShotExamples+"\n(retrieved official checker source elided)\n", 3)
+	}
+	return fmt.Sprintf(planPromptTemplate, strings.Join(utilityFunctions, "\n"), ex, patchSection(c), pattern)
+}
+
+// ImplementPrompt renders the implementation-stage prompt.
+func ImplementPrompt(c *vcs.Commit, plan string) string {
+	return fmt.Sprintf(implementPromptTemplate, strings.Join(utilityFunctions, "\n"), plan, patchSection(c))
+}
+
+// RepairPrompt renders the syntax-repair prompt.
+func RepairPrompt(dsl, compileErr string) string {
+	return fmt.Sprintf(repairPromptTemplate, compileErr, dsl)
+}
+
+// TriagePrompt renders the Figure 5c prompt.
+func TriagePrompt(patchText, pattern, report string) string {
+	return fmt.Sprintf(triagePromptTemplate, patchText, pattern, report)
+}
+
+// RefinePrompt renders the refinement prompt.
+func RefinePrompt(spec string, fps []string) string {
+	return fmt.Sprintf(refinePromptTemplate, spec, strings.Join(fps, "\n---\n"))
+}
+
+// patchSection renders the commit message, pre-patch function, and diff
+// (the paper supplies all three to the agents).
+func patchSection(c *vcs.Commit) string {
+	return fmt.Sprintf("## Commit message\n%s\n\n## Buggy code (pre-patch)\n%s\n\n## Diff\n%s",
+		c.Message(), c.Before, c.Diff())
+}

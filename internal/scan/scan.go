@@ -1,0 +1,101 @@
+// Package scan orchestrates whole-corpus analysis runs: the
+// reproduction's analog of scanning the Linux tree with -j32 (§5).
+package scan
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+)
+
+// Codebase is a parsed corpus, reusable across many checker runs.
+type Codebase struct {
+	Corpus *kernel.Corpus
+	Files  []*minic.File
+}
+
+// NewCodebase parses every corpus file once.
+func NewCodebase(c *kernel.Corpus) (*Codebase, error) {
+	cb := &Codebase{Corpus: c}
+	for _, f := range c.Files {
+		pf, err := minic.ParseFile(f.Path, f.Src)
+		if err != nil {
+			return nil, fmt.Errorf("scan: parse %s: %w", f.Path, err)
+		}
+		cb.Files = append(cb.Files, pf)
+	}
+	return cb, nil
+}
+
+// Options configures a scan.
+type Options struct {
+	// Workers is the parallelism degree (default: GOMAXPROCS).
+	Workers int
+	// MaxReports caps the collected reports (0 = unlimited). The paper
+	// caps refinement-phase scans at 100 warnings.
+	MaxReports int
+	// Engine passes through per-function analysis options.
+	Engine engine.Options
+}
+
+// Result of a corpus scan.
+type Result struct {
+	Reports      []*checker.Report
+	RuntimeErrs  []engine.RuntimeErr
+	FilesScanned int
+	FuncsScanned int
+	Truncated    bool
+}
+
+// Run scans the whole codebase with the given checkers. Results are
+// deterministic regardless of parallelism: per-file results are merged
+// in file order.
+func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	perFile := make([]*engine.Result, len(cb.Files))
+	var wg sync.WaitGroup
+	idx := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				eo := opts.Engine
+				eo.Checkers = checkers
+				perFile[i] = engine.AnalyzeFile(cb.Files[i], eo)
+			}
+		}()
+	}
+	for i := range cb.Files {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	out := &Result{FilesScanned: len(cb.Files)}
+	for i, r := range perFile {
+		out.FuncsScanned += len(cb.Files[i].Funcs)
+		out.RuntimeErrs = append(out.RuntimeErrs, r.RuntimeErrs...)
+		for _, rep := range r.Reports {
+			if opts.MaxReports > 0 && len(out.Reports) >= opts.MaxReports {
+				out.Truncated = true
+				return out
+			}
+			out.Reports = append(out.Reports, rep)
+		}
+	}
+	return out
+}
+
+// RunOne scans with a single checker (the per-checker refinement scans).
+func (cb *Codebase) RunOne(ck checker.Checker, opts Options) *Result {
+	return cb.Run([]checker.Checker{ck}, opts)
+}

@@ -1,0 +1,153 @@
+package smatch
+
+import (
+	"testing"
+
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+)
+
+func findingsFor(t *testing.T, src string) []Finding {
+	t.Helper()
+	f, err := minic.ParseFile("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &callStats{used: map[string]int{}, dropped: map[string]int{}}
+	var out []Finding
+	for _, fn := range f.Funcs {
+		out = append(out, checkFunc("t.c", fn, stats)...)
+	}
+	return out
+}
+
+func hasCheck(fs []Finding, name string) bool {
+	for _, f := range fs {
+		if f.Check == name {
+			return true
+		}
+	}
+	return false
+}
+
+func TestCheckDerefFlagsUncheckedParam(t *testing.T) {
+	fs := findingsFor(t, `
+int f(struct dev *d)
+{
+	d->count = 1;
+	return 0;
+}
+`)
+	if !hasCheck(fs, "check_deref") {
+		t.Errorf("unchecked param deref not flagged: %v", fs)
+	}
+}
+
+func TestCheckDerefSkipsCheckedParam(t *testing.T) {
+	fs := findingsFor(t, `
+int f(struct dev *d)
+{
+	if (!d)
+		return -EINVAL;
+	d->count = 1;
+	return 0;
+}
+`)
+	if hasCheck(fs, "check_deref") {
+		t.Errorf("checked param flagged: %v", fs)
+	}
+}
+
+func TestCheckDerefSkipsAddressOf(t *testing.T) {
+	// &pdev->dev computes an address; it is not a load through pdev.
+	fs := findingsFor(t, `
+int f(struct pci_dev *pdev)
+{
+	register_thing(&pdev->dev);
+	return 0;
+}
+`)
+	if hasCheck(fs, "check_deref") {
+		t.Errorf("address-of flagged as deref: %v", fs)
+	}
+}
+
+func TestCheckStackFrame(t *testing.T) {
+	fs := findingsFor(t, `
+int f(void)
+{
+	char buf[256];
+	buf[0] = 1;
+	return 0;
+}
+`)
+	if !hasCheck(fs, "check_stack") {
+		t.Errorf("large stack buffer not flagged: %v", fs)
+	}
+	fs = findingsFor(t, "int g(void)\n{\n\tchar small[8];\n\tsmall[0] = 1;\n\treturn 0;\n}\n")
+	if hasCheck(fs, "check_stack") {
+		t.Errorf("small buffer flagged: %v", fs)
+	}
+}
+
+func TestDeviationAnalysis(t *testing.T) {
+	// Build stats where "must_check" is used by 10 callers and dropped
+	// by this one.
+	f, err := minic.ParseFile("t.c", `
+void g(void)
+{
+	must_check();
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := &callStats{used: map[string]int{"must_check": 10}, dropped: map[string]int{"must_check": 1}}
+	fs := checkFunc("t.c", f.Funcs[0], stats)
+	if !hasCheck(fs, "unchecked_return") {
+		t.Errorf("deviation not flagged: %v", fs)
+	}
+}
+
+func TestRunOnCorpusIsDeterministicAndDisjointFromSeededBugs(t *testing.T) {
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.15})
+	r1, err := Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Run(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Findings) != len(r2.Findings) {
+		t.Fatal("non-deterministic finding count")
+	}
+	if len(r1.Findings) == 0 {
+		t.Fatal("baseline found nothing at all")
+	}
+	// RQ3's core claim: no baseline finding coincides with a seeded bug
+	// under an equivalent category.
+	catOf := map[string]string{
+		"check_deref":      kernel.ClassNPD,
+		"uninitialized":    kernel.ClassUBI,
+		"unchecked_return": kernel.ClassMisuse,
+	}
+	for _, f := range r1.Findings {
+		cls, mapped := catOf[f.Check]
+		if !mapped {
+			continue
+		}
+		if bug, ok := corpus.IsBugSite(f.File, f.Func); ok && bug.Class == cls {
+			t.Errorf("baseline finding overlaps seeded bug %s: %v", bug.ID, f)
+		}
+	}
+}
+
+func TestSeverityCounts(t *testing.T) {
+	r := &Result{Findings: []Finding{
+		{Severity: Error}, {Severity: Error}, {Severity: Warning},
+	}}
+	if r.Errors() != 2 || r.Warnings() != 1 {
+		t.Errorf("errors=%d warnings=%d", r.Errors(), r.Warnings())
+	}
+}

@@ -1,0 +1,241 @@
+package sym
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// State is an immutable program state: region bindings, per-symbol
+// constraints (nullness, integer ranges), and arbitrary checker-owned
+// fact domains (the analog of CSA's REGISTER_MAP_WITH_PROGRAMSTATE).
+//
+// All mutating operations return a new State; existing States are never
+// modified, so States can be freely shared between exploded-graph nodes.
+type State struct {
+	bindings map[RegionID]Value
+	nullness map[SymbolID]Nullness
+	ranges   map[SymbolID]Range
+	facts    map[factKey]any
+}
+
+type factKey struct {
+	Domain string
+	Key    string
+}
+
+// NewState returns the empty initial state.
+func NewState() *State {
+	return &State{}
+}
+
+// clone returns a shallow copy; the caller must replace (not mutate) any
+// map it wants to change.
+func (s *State) clone() *State {
+	c := *s
+	return &c
+}
+
+func cloneMap[K comparable, V any](m map[K]V) map[K]V {
+	out := make(map[K]V, len(m)+1)
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// BindRegion returns a state where region r holds value v.
+func (s *State) BindRegion(r RegionID, v Value) *State {
+	if cur, ok := s.bindings[r]; ok && cur == v {
+		return s
+	}
+	c := s.clone()
+	c.bindings = cloneMap(s.bindings)
+	c.bindings[r] = v
+	return c
+}
+
+// LookupRegion returns the value bound to region r.
+func (s *State) LookupRegion(r RegionID) (Value, bool) {
+	v, ok := s.bindings[r]
+	return v, ok
+}
+
+// Bindings returns the bound regions in ascending order (for invariant
+// checks and debug output).
+func (s *State) Bindings() []RegionID {
+	out := make([]RegionID, 0, len(s.bindings))
+	for r := range s.bindings {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// WithNullness returns a state where symbol sym has the given nullness.
+func (s *State) WithNullness(sym SymbolID, n Nullness) *State {
+	if sym == NoSymbol {
+		return s
+	}
+	if cur, ok := s.nullness[sym]; ok && cur == n {
+		return s
+	}
+	c := s.clone()
+	c.nullness = cloneMap(s.nullness)
+	c.nullness[sym] = n
+	return c
+}
+
+// NullnessOf returns what is known about v being null on this path.
+func (s *State) NullnessOf(v Value) Nullness {
+	switch v.Kind {
+	case KindInt:
+		if v.Int == 0 {
+			return IsNull
+		}
+		return NotNull
+	case KindLoc:
+		return NotNull
+	case KindSymbol:
+		if n, ok := s.nullness[v.Sym]; ok {
+			return n
+		}
+		return MaybeNull
+	default:
+		return MaybeNull
+	}
+}
+
+// WithRange returns a state constraining symbol sym to r.
+func (s *State) WithRange(sym SymbolID, r Range) *State {
+	if sym == NoSymbol {
+		return s
+	}
+	if cur, ok := s.ranges[sym]; ok && cur == r {
+		return s
+	}
+	c := s.clone()
+	c.ranges = cloneMap(s.ranges)
+	c.ranges[sym] = r
+	return c
+}
+
+// RangeOf returns the interval constraint on v.
+func (s *State) RangeOf(v Value) Range {
+	switch v.Kind {
+	case KindInt:
+		return SingletonRange(v.Int)
+	case KindSymbol:
+		if r, ok := s.ranges[v.Sym]; ok {
+			return r
+		}
+		return FullRange
+	default:
+		return FullRange
+	}
+}
+
+// --- checker fact domains ---
+
+// SetFact returns a state where domain[key] = value. Values stored in
+// fact domains must be immutable (comparable types recommended).
+func (s *State) SetFact(domain, key string, value any) *State {
+	fk := factKey{domain, key}
+	if cur, ok := s.facts[fk]; ok && cur == value {
+		return s
+	}
+	c := s.clone()
+	c.facts = cloneMap(s.facts)
+	c.facts[fk] = value
+	return c
+}
+
+// Fact returns domain[key].
+func (s *State) Fact(domain, key string) (any, bool) {
+	v, ok := s.facts[factKey{domain, key}]
+	return v, ok
+}
+
+// DelFact returns a state with domain[key] removed.
+func (s *State) DelFact(domain, key string) *State {
+	fk := factKey{domain, key}
+	if _, ok := s.facts[fk]; !ok {
+		return s
+	}
+	c := s.clone()
+	c.facts = cloneMap(s.facts)
+	delete(c.facts, fk)
+	return c
+}
+
+// FactKeys returns the sorted keys present in a domain.
+func (s *State) FactKeys(domain string) []string {
+	var out []string
+	for fk := range s.facts {
+		if fk.Domain == domain {
+			out = append(out, fk.Key)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// --- convenience typed fact helpers for region-keyed domains ---
+
+// RegionKey renders a RegionID as a fact key.
+func RegionKey(r RegionID) string { return fmt.Sprintf("r%d", r) }
+
+// SymbolKey renders a SymbolID as a fact key.
+func SymbolKey(sy SymbolID) string { return fmt.Sprintf("s%d", sy) }
+
+// SetRegionFact stores a fact keyed by region.
+func (s *State) SetRegionFact(domain string, r RegionID, value any) *State {
+	return s.SetFact(domain, RegionKey(r), value)
+}
+
+// RegionFact loads a fact keyed by region.
+func (s *State) RegionFact(domain string, r RegionID) (any, bool) {
+	return s.Fact(domain, RegionKey(r))
+}
+
+// DelRegionFact removes a fact keyed by region.
+func (s *State) DelRegionFact(domain string, r RegionID) *State {
+	return s.DelFact(domain, RegionKey(r))
+}
+
+// FactRegions returns the RegionIDs keyed in a domain, ascending.
+func (s *State) FactRegions(domain string) []RegionID {
+	var out []RegionID
+	for fk := range s.facts {
+		if fk.Domain != domain {
+			continue
+		}
+		var r RegionID
+		if _, err := fmt.Sscanf(fk.Key, "r%d", &r); err == nil {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Fingerprint returns a canonical string identifying the state's content.
+// The engine uses it to deduplicate exploded nodes (same block + same
+// fingerprint = already visited).
+func (s *State) Fingerprint() string {
+	var parts []string
+	for r, v := range s.bindings {
+		parts = append(parts, fmt.Sprintf("b%d=%s", r, v))
+	}
+	for sy, n := range s.nullness {
+		parts = append(parts, fmt.Sprintf("n%d=%d", sy, n))
+	}
+	for sy, r := range s.ranges {
+		parts = append(parts, fmt.Sprintf("g%d=%d:%d", sy, r.Min, r.Max))
+	}
+	for fk, v := range s.facts {
+		parts = append(parts, fmt.Sprintf("f%s/%s=%v", fk.Domain, fk.Key, v))
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}

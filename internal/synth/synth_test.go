@@ -1,0 +1,196 @@
+package synth
+
+import (
+	"testing"
+
+	"knighter/internal/ckdsl"
+	"knighter/internal/kernel"
+	"knighter/internal/llm"
+	"knighter/internal/vcs"
+)
+
+func findCommit(t *testing.T, store *vcs.Store, class, flavor string) *vcs.Commit {
+	t.Helper()
+	for _, c := range store.All() {
+		if c.Class == class && c.Flavor == flavor {
+			return c
+		}
+	}
+	t.Fatalf("no commit %s/%s", class, flavor)
+	return nil
+}
+
+const npdArchetype = `
+checker t_npd {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "devm_kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+
+func TestValidatorAcceptsDiscriminatingChecker(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassNPD, "devm_kzalloc")
+	ck, err := ckdsl.CompileSource(npdArchetype)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(50).Validate(ck, c)
+	if !v.Valid || v.NBuggy == 0 || v.NPatched != 0 {
+		t.Fatalf("validation = %+v", v)
+	}
+}
+
+func TestValidatorRejectsFlagBoth(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassNPD, "devm_kzalloc")
+	// No nullcheck guard: the patched version is flagged too.
+	noGuard := `
+checker t_bad {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "devm_kzalloc" yields nullable }
+  sink { deref unchecked }
+}
+`
+	ck, err := ckdsl.CompileSource(noGuard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(50).Validate(ck, c)
+	if v.Valid {
+		t.Fatalf("guardless checker validated: %+v", v)
+	}
+	if v.NBuggy == 0 || v.NPatched == 0 {
+		t.Fatalf("expected flag-both shape, got %+v", v)
+	}
+}
+
+func TestValidatorRejectsMissBoth(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassNPD, "devm_kzalloc")
+	wrongAnchor := `
+checker t_miss {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "some_other_alloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+	ck, err := ckdsl.CompileSource(wrongAnchor)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(50).Validate(ck, c)
+	if v.Valid || v.NBuggy != 0 || v.NPatched != 0 {
+		t.Fatalf("validation = %+v", v)
+	}
+}
+
+func TestValidatorReportsRuntimeError(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassDoubleFree, "kfree")
+	crash := `
+checker t_crash {
+  bugtype "Double-Free"
+  source { call "kfree" frees arg 7 }
+  sink { call "kfree" arg 0 freed }
+}
+`
+	ck, err := ckdsl.CompileSource(crash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := NewValidator(50).Validate(ck, c)
+	if !v.RuntimeError {
+		t.Fatalf("expected runtime error, got %+v", v)
+	}
+}
+
+func TestGenCheckerOnCapableCommit(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassNPD, "devm_kzalloc")
+	pipe := NewPipeline(llm.NewOracle(llm.O3Mini), Options{})
+	out := pipe.GenChecker(c)
+	if !out.Valid {
+		t.Fatalf("synthesis failed: %+v", out.Failed)
+	}
+	if out.Spec == nil || out.Checker == nil {
+		t.Fatal("valid outcome missing artifacts")
+	}
+	anchored := false
+	for _, src := range out.Spec.Sources {
+		if src.Callee == "devm_kzalloc" {
+			anchored = true
+		}
+	}
+	if !anchored {
+		t.Errorf("checker not anchored on the patch API:\n%s", out.Spec.String())
+	}
+	if out.NBuggy <= out.NPatched {
+		t.Errorf("validation counts: buggy %d, patched %d", out.NBuggy, out.NPatched)
+	}
+	if out.Usage.Calls == 0 || out.Usage.InputTokens == 0 {
+		t.Error("no usage accounted")
+	}
+}
+
+func TestGenCheckerOnIncapableCommitRecordsSymptoms(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	c := findCommit(t, store, kernel.ClassNPD, "kstrdup") // destiny: incapable
+	pipe := NewPipeline(llm.NewOracle(llm.O3Mini), Options{})
+	out := pipe.GenChecker(c)
+	if out.Valid {
+		t.Fatal("incapable commit yielded a valid checker")
+	}
+	if out.Iterations != 10 {
+		t.Errorf("iterations = %d, want 10", out.Iterations)
+	}
+	if len(out.Failed) != 10 {
+		t.Errorf("failed records = %d, want 10", len(out.Failed))
+	}
+	for _, f := range out.Failed {
+		switch f.Symptom {
+		case SymptomCompile, SymptomRuntime, SymptomFlagBoth, SymptomMissBoth:
+		default:
+			t.Errorf("unknown symptom %q", f.Symptom)
+		}
+	}
+}
+
+func TestPipelineDeterminism(t *testing.T) {
+	store := kernel.BuildHandCommits(11)
+	run := func() []bool {
+		pipe := NewPipeline(llm.NewOracle(llm.O3Mini), Options{})
+		var out []bool
+		for _, c := range store.All()[:12] {
+			out = append(out, pipe.GenChecker(c).Valid)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("validity differs at commit %d", i)
+		}
+	}
+}
+
+func TestSymptomClassification(t *testing.T) {
+	if !SymptomFlagBoth.IsSemantic() || !SymptomMissBoth.IsSemantic() {
+		t.Error("semantic symptoms misclassified")
+	}
+	if SymptomCompile.IsSemantic() || SymptomRuntime.IsSemantic() {
+		t.Error("non-semantic symptoms misclassified")
+	}
+}
+
+func TestOptionsDefaults(t *testing.T) {
+	o := Options{}.withDefaults()
+	if o.MaxIterations != 10 || o.MaxRepairAttempts != 5 || o.TValid != 50 {
+		t.Errorf("defaults = %+v", o)
+	}
+}

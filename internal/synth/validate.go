@@ -1,0 +1,55 @@
+package synth
+
+import (
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/minic"
+	"knighter/internal/vcs"
+)
+
+// Validation is the outcome of differential validation (§3.1.4): the
+// checker is run on the pre-patch and post-patch objects of the commit.
+type Validation struct {
+	NBuggy       int
+	NPatched     int
+	Valid        bool
+	RuntimeError bool
+}
+
+// Validator runs checkers against both sides of a commit. A checker is
+// valid iff N_buggy > N_patched && N_patched < TValid.
+type Validator struct {
+	TValid int
+}
+
+// NewValidator returns a validator with the given threshold (paper
+// default 50).
+func NewValidator(tValid int) *Validator {
+	if tValid <= 0 {
+		tValid = 50
+	}
+	return &Validator{TValid: tValid}
+}
+
+// Validate scans the commit's buggy and patched file with the checker.
+func (v *Validator) Validate(ck checker.Checker, c *vcs.Commit) Validation {
+	nb, rb := countReports(ck, c.File, c.Before)
+	np, rp := countReports(ck, c.File, c.After)
+	out := Validation{NBuggy: nb, NPatched: np, RuntimeError: rb || rp}
+	if out.RuntimeError {
+		return out
+	}
+	out.Valid = nb > np && np < v.TValid
+	return out
+}
+
+// countReports analyzes one file version, returning the report count and
+// whether the analyzer crashed.
+func countReports(ck checker.Checker, path, src string) (int, bool) {
+	f, err := minic.ParseFile(path, src)
+	if err != nil {
+		return 0, false
+	}
+	res := engine.AnalyzeFile(f, engine.Options{Checkers: []checker.Checker{ck}})
+	return len(res.Reports), len(res.RuntimeErrs) > 0
+}
