@@ -23,6 +23,7 @@ import (
 	"knighter/internal/minic"
 	"knighter/internal/scan"
 	"knighter/internal/smatch"
+	"knighter/internal/store"
 	"knighter/internal/synth"
 )
 
@@ -392,6 +393,53 @@ checker bench_scan {
 	for i := 0; i < b.N; i++ {
 		h.Codebase.RunOne(ck, scan.Options{})
 	}
+}
+
+const benchCacheDSL = `
+checker bench_cache {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+
+// BenchmarkScanColdCache measures an incremental full-corpus scan
+// against an empty result store: every function is a miss, so this is
+// the uncached analysis cost plus cache bookkeeping.
+func BenchmarkScanColdCache(b *testing.B) {
+	h, _, _ := setupBench(b)
+	ck := mustChecker(b, benchCacheDSL)
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		inc := scan.NewIncremental(h.Codebase, store.NewMemory(0))
+		res = inc.RunOne(ck, scan.Options{})
+	}
+	b.ReportMetric(float64(len(res.Reports)), "reports")
+	b.ReportMetric(float64(res.CacheMisses), "cache-misses")
+}
+
+// BenchmarkScanWarmCache measures the same scan against a fully warmed
+// store: no symbolic execution runs, only hashing, lookups, and the
+// deterministic merge. The ratio to BenchmarkScanColdCache is the cache
+// speedup the incremental scan service delivers on repeat scans (the
+// refinement loop's and kserve's steady state).
+func BenchmarkScanWarmCache(b *testing.B) {
+	h, _, _ := setupBench(b)
+	ck := mustChecker(b, benchCacheDSL)
+	inc := scan.NewIncremental(h.Codebase, store.NewMemory(0))
+	inc.RunOne(ck, scan.Options{}) // warm every entry
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		res = inc.RunOne(ck, scan.Options{})
+	}
+	if res.CacheMisses != 0 {
+		b.Fatalf("warm scan missed %d times", res.CacheMisses)
+	}
+	b.ReportMetric(float64(res.CacheHits), "cache-hits")
 }
 
 // BenchmarkSmatchBaseline measures the baseline analyzer's full-corpus

@@ -1,0 +1,271 @@
+// Command kserve is the incremental scan service: an HTTP daemon that
+// holds a parsed codebase and a shared content-addressed analysis cache
+// in memory, so many checker runs amortize one parse and one cache.
+//
+// This is the deployment shape the paper's §5 scans want: checker
+// synthesis and refinement issue many near-identical scans of the same
+// tree, and a warm daemon answers repeats from cache instead of
+// re-executing the analyzer.
+//
+// Usage:
+//
+//	kserve                         # serve the synthetic corpus on :8321
+//	kserve -addr :9000 -scale 0.5
+//	kserve -cache-dir /var/cache/kserve   # add a persistent disk tier
+//
+// Endpoints:
+//
+//	POST /scan     {"checker": "<DSL text>", "files": [...], "max_reports": n}
+//	GET  /stats    cache + service counters
+//	GET  /healthz  liveness
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"sync/atomic"
+	"time"
+
+	"knighter/internal/checker"
+	"knighter/internal/ckdsl"
+	"knighter/internal/kernel"
+	"knighter/internal/scan"
+	"knighter/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8321", "listen address")
+	seed := flag.Int64("seed", 1, "corpus seed")
+	scale := flag.Float64("scale", 1.0, "corpus scale")
+	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache capacity (0 = default)")
+	cacheDir := flag.String("cache-dir", "", "optional on-disk cache tier directory")
+	flag.Parse()
+
+	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kserve:", err)
+		os.Exit(1)
+	}
+	var st store.Store = store.NewMemory(*cacheEntries)
+	if *cacheDir != "" {
+		disk, err := store.NewDisk(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kserve:", err)
+			os.Exit(1)
+		}
+		st = store.NewTiered(st, disk)
+	}
+	srv := newServer(scan.NewIncremental(cb, st))
+	log.Printf("kserve: serving %d files / %d functions on %s", len(cb.Files), srv.funcs, *addr)
+	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+}
+
+// server holds the warm codebase, the shared store, and service
+// counters.
+type server struct {
+	inc     *scan.Incremental
+	started time.Time
+	funcs   int
+
+	scans         atomic.Int64
+	scanErrors    atomic.Int64
+	reportsServed atomic.Int64
+}
+
+func newServer(inc *scan.Incremental) *server {
+	s := &server{inc: inc, started: time.Now()}
+	for _, f := range inc.Codebase().Files {
+		s.funcs += len(f.Funcs)
+	}
+	return s
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// scanRequest is the POST /scan body.
+type scanRequest struct {
+	// Checker is the checker-DSL program text.
+	Checker string `json:"checker"`
+	// Files optionally restricts the scan to these corpus paths.
+	Files []string `json:"files,omitempty"`
+	// MaxReports caps collected reports (0 = unlimited).
+	MaxReports int `json:"max_reports,omitempty"`
+	// Workers overrides the parallelism degree (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// IncludeTrace adds the per-report path trace to the response.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// reportJSON is one bug report on the wire.
+type reportJSON struct {
+	Checker string      `json:"checker"`
+	BugType string      `json:"bug_type"`
+	Message string      `json:"message"`
+	File    string      `json:"file"`
+	Func    string      `json:"func"`
+	Line    int         `json:"line"`
+	Col     int         `json:"col"`
+	Region  string      `json:"region,omitempty"`
+	Trace   []traceJSON `json:"trace,omitempty"`
+}
+
+type traceJSON struct {
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Note string `json:"note"`
+}
+
+// cacheJSON reports per-request cache effectiveness.
+type cacheJSON struct {
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+}
+
+// scanResponse is the POST /scan reply.
+type scanResponse struct {
+	Checker      string       `json:"checker"`
+	Reports      []reportJSON `json:"reports"`
+	FilesScanned int          `json:"files_scanned"`
+	FuncsScanned int          `json:"funcs_scanned"`
+	RuntimeErrs  []string     `json:"runtime_errs,omitempty"`
+	Truncated    bool         `json:"truncated"`
+	Cache        cacheJSON    `json:"cache"`
+	ElapsedMS    float64      `json:"elapsed_ms"`
+}
+
+func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req scanRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Checker == "" {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "missing 'checker' (DSL text)")
+		return
+	}
+	ck, err := ckdsl.CompileSource(req.Checker)
+	if err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, "checker does not compile: "+err.Error())
+		return
+	}
+	cb := s.inc.Codebase()
+	files := make([]int, 0, len(cb.Files))
+	if len(req.Files) == 0 {
+		for i := range cb.Files {
+			files = append(files, i)
+		}
+	} else {
+		for _, path := range req.Files {
+			i := cb.FileIndex(path)
+			if i < 0 {
+				s.scanErrors.Add(1)
+				httpError(w, http.StatusNotFound, "unknown file: "+path)
+				return
+			}
+			files = append(files, i)
+		}
+	}
+
+	start := time.Now()
+	res := s.inc.RunFiles(files, []checker.Checker{ck}, scan.Options{
+		Workers:    req.Workers,
+		MaxReports: req.MaxReports,
+	})
+	elapsed := time.Since(start)
+
+	resp := &scanResponse{
+		Checker:      ck.Name(),
+		Reports:      make([]reportJSON, 0, len(res.Reports)),
+		FilesScanned: res.FilesScanned,
+		FuncsScanned: res.FuncsScanned,
+		Truncated:    res.Truncated,
+		Cache: cacheJSON{
+			Hits:    res.CacheHits,
+			Misses:  res.CacheMisses,
+			HitRate: store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
+		},
+		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	}
+	for _, rep := range res.Reports {
+		rj := reportJSON{
+			Checker: rep.Checker, BugType: rep.BugType, Message: rep.Message,
+			File: rep.File, Func: rep.Func, Line: rep.Pos.Line, Col: rep.Pos.Col,
+			Region: rep.RegionAt,
+		}
+		if req.IncludeTrace {
+			for _, t := range rep.Trace {
+				rj.Trace = append(rj.Trace, traceJSON{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
+			}
+		}
+		resp.Reports = append(resp.Reports, rj)
+	}
+	for _, re := range res.RuntimeErrs {
+		resp.RuntimeErrs = append(resp.RuntimeErrs, re.Error())
+	}
+	s.scans.Add(1)
+	s.reportsServed.Add(int64(len(resp.Reports)))
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse is the GET /stats reply.
+type statsResponse struct {
+	UptimeSeconds float64     `json:"uptime_seconds"`
+	Files         int         `json:"files"`
+	Funcs         int         `json:"funcs"`
+	Scans         int64       `json:"scans"`
+	ScanErrors    int64       `json:"scan_errors"`
+	ReportsServed int64       `json:"reports_served"`
+	Store         store.Stats `json:"store"`
+	StoreHitRate  float64     `json:"store_hit_rate"`
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := s.inc.Stats()
+	writeJSON(w, http.StatusOK, &statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Files:         len(s.inc.Codebase().Files),
+		Funcs:         s.funcs,
+		Scans:         s.scans.Load(),
+		ScanErrors:    s.scanErrors.Load(),
+		ReportsServed: s.reportsServed.Load(),
+		Store:         st,
+		StoreHitRate:  st.HitRate(),
+	})
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "files": len(s.inc.Codebase().Files)})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		log.Printf("kserve: encode response: %v", err)
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]any{"error": msg})
+}

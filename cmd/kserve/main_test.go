@@ -1,0 +1,175 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"knighter/internal/kernel"
+	"knighter/internal/scan"
+	"knighter/internal/store"
+)
+
+const testChecker = `
+checker serve_npd {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "devm_kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+
+func newTestServer(t *testing.T) (*server, *httptest.Server) {
+	t.Helper()
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(scan.NewIncremental(cb, store.NewMemory(0)))
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func postScan(t *testing.T, ts *httptest.Server, body any) *scanResponse {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /scan status = %d", resp.StatusCode)
+	}
+	var out scanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func getStats(t *testing.T, ts *httptest.Server) *statsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	return &out
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /healthz status = %d", resp.StatusCode)
+	}
+	var out map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if out["ok"] != true {
+		t.Fatalf("healthz = %v", out)
+	}
+}
+
+// TestRepeatScanServedFromCache is the service-level acceptance
+// criterion: the second POST /scan for the same checker must be served
+// >= 90% from cache, observable both in the response and in GET /stats.
+func TestRepeatScanServedFromCache(t *testing.T) {
+	_, ts := newTestServer(t)
+	req := scanRequest{Checker: testChecker}
+
+	first := postScan(t, ts, req)
+	if first.Cache.Hits != 0 {
+		t.Fatalf("cold scan had %d cache hits, want 0", first.Cache.Hits)
+	}
+	if len(first.Reports) == 0 {
+		t.Fatal("cold scan found no reports; corpus seeds devm_kzalloc NPD bugs")
+	}
+	before := getStats(t, ts)
+
+	second := postScan(t, ts, req)
+	if second.Cache.HitRate < 0.9 {
+		t.Fatalf("second scan hit rate = %.3f, want >= 0.9", second.Cache.HitRate)
+	}
+	a, _ := json.Marshal(first.Reports)
+	b, _ := json.Marshal(second.Reports)
+	if !bytes.Equal(a, b) {
+		t.Fatal("cached scan reports differ from cold scan reports")
+	}
+
+	after := getStats(t, ts)
+	dHits := after.Store.Hits - before.Store.Hits
+	dMisses := after.Store.Misses - before.Store.Misses
+	if dHits+dMisses == 0 {
+		t.Fatal("stats did not move between scans")
+	}
+	if rate := float64(dHits) / float64(dHits+dMisses); rate < 0.9 {
+		t.Fatalf("store-level hit rate for second scan = %.3f, want >= 0.9", rate)
+	}
+	if after.Scans != 2 {
+		t.Fatalf("scans counter = %d, want 2", after.Scans)
+	}
+}
+
+// TestScanFileSubset exercises the files filter and per-file caching:
+// scanning one file warms only that file's functions.
+func TestScanFileSubset(t *testing.T) {
+	srv, ts := newTestServer(t)
+	path := srv.inc.Codebase().Files[0].Name
+	one := postScan(t, ts, scanRequest{Checker: testChecker, Files: []string{path}})
+	if one.FilesScanned != 1 {
+		t.Fatalf("files scanned = %d, want 1", one.FilesScanned)
+	}
+	again := postScan(t, ts, scanRequest{Checker: testChecker, Files: []string{path}})
+	if again.Cache.Misses != 0 {
+		t.Fatalf("re-scan of one file missed %d times, want 0", again.Cache.Misses)
+	}
+}
+
+func TestScanRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t)
+	cases := []struct {
+		name string
+		body string
+		code int
+	}{
+		{"bad JSON", "{", http.StatusBadRequest},
+		{"missing checker", "{}", http.StatusBadRequest},
+		{"broken DSL", `{"checker": "checker x {"}`, http.StatusUnprocessableEntity},
+		{"unknown file", fmt.Sprintf(`{"checker": %q, "files": ["no/such.c"]}`, testChecker), http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewBufferString(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.code {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.code)
+			}
+		})
+	}
+	if stats := getStats(t, ts); stats.ScanErrors != 4 {
+		t.Fatalf("scan_errors = %d, want 4", stats.ScanErrors)
+	}
+}

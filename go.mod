@@ -1,0 +1,3 @@
+module knighter
+
+go 1.22

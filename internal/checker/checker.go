@@ -24,6 +24,17 @@ type Checker interface {
 	BugType() string
 }
 
+// Fingerprinter is implemented by checkers whose behaviour is fully
+// determined by a canonical serialization (e.g. a compiled DSL spec).
+// The scan-service result cache only caches analysis results for
+// checkers that implement it: two checkers with equal fingerprints must
+// produce identical results on identical input.
+type Fingerprinter interface {
+	// Fingerprint returns a stable content hash of the checker's
+	// semantics.
+	Fingerprint() string
+}
+
 // PostCallChecker runs after a call expression is evaluated.
 type PostCallChecker interface {
 	CheckPostCall(ev *CallEvent, c *Context)

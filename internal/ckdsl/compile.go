@@ -1,6 +1,8 @@
 package ckdsl
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -86,6 +88,17 @@ func (ck *Compiled) Spec() *Spec { return ck.spec }
 
 // Name implements checker.Checker.
 func (ck *Compiled) Name() string { return "knighter." + ck.spec.Name }
+
+// Fingerprint implements checker.Fingerprinter for the scan-service
+// result cache. A Compiled checker's behaviour is fully determined by
+// its spec, and Spec.String is canonical (parse∘print is the identity
+// on semantics), so hashing the rendering is a sound semantic key: two
+// refinement rounds that produce the same spec — the common case for
+// rejected or no-op refinements — hit the same cache entries.
+func (ck *Compiled) Fingerprint() string {
+	h := sha256.Sum256([]byte("ckdsl:v1:" + ck.spec.String()))
+	return hex.EncodeToString(h[:16])
+}
 
 // BugType implements checker.Checker.
 func (ck *Compiled) BugType() string { return ck.spec.BugTypeName }

@@ -9,6 +9,7 @@ import (
 	"knighter/internal/llm"
 	"knighter/internal/refine"
 	"knighter/internal/scan"
+	"knighter/internal/store"
 	"knighter/internal/synth"
 	"knighter/internal/triage"
 	"knighter/internal/vcs"
@@ -45,12 +46,17 @@ type Harness struct {
 	Cfg      Config
 	Corpus   *kernel.Corpus
 	Codebase *scan.Codebase
-	Hand     *vcs.Store
-	Auto     *vcs.Store
-	Model    *llm.Oracle
-	Pipe     *synth.Pipeline
-	Triage   *triage.Agent
-	Loop     *refine.Loop
+	// Inc schedules every harness scan through one shared
+	// analysis-result cache: the refinement loop, the bug-detection
+	// deployment scan, and the RQ3 per-checker scans all hit the same
+	// store, so re-running a table is largely cache-served.
+	Inc    *scan.Incremental
+	Hand   *vcs.Store
+	Auto   *vcs.Store
+	Model  *llm.Oracle
+	Pipe   *synth.Pipeline
+	Triage *triage.Agent
+	Loop   *refine.Loop
 }
 
 // NewHarness builds the corpus, parses it, and wires the pipeline.
@@ -74,13 +80,14 @@ func NewHarness(cfg Config) (*Harness, error) {
 		Cfg:      cfg,
 		Corpus:   corpus,
 		Codebase: cb,
+		Inc:      scan.NewIncremental(cb, store.NewMemory(0)),
 		Hand:     kernel.BuildHandCommits(cfg.CommitSeed),
 		Auto:     kernel.BuildAutoNPDCommits(cfg.AutoSeed, cfg.AutoCount),
 		Model:    model,
 		Pipe:     pipe,
 		Triage:   tr,
 	}
-	h.Loop = refine.NewLoop(cb, tr, model, pipe.Val, refine.Options{})
+	h.Loop = refine.NewLoopWith(h.Inc, tr, model, pipe.Val, refine.Options{})
 	return h, nil
 }
 

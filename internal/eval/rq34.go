@@ -110,7 +110,7 @@ func (h *Harness) RunTriageEval(handOutcomes []*SynthesisOutcome) *TriageEvalRes
 			continue
 		}
 		// Valid checkers, pre-refinement (the RQ4 population).
-		scanRes := h.Codebase.RunOne(so.Synth.Checker, scan.Options{MaxReports: 100, Workers: h.Cfg.Workers})
+		scanRes := h.Inc.RunOne(so.Synth.Checker, scan.Options{MaxReports: 100, Workers: h.Cfg.Workers})
 		if len(scanRes.Reports) == 0 {
 			res.SilentCheckers++
 			continue

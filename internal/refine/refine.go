@@ -61,16 +61,31 @@ func (o Options) withDefaults() Options {
 
 // Loop drives refinement for valid checkers.
 type Loop struct {
-	Codebase *scan.Codebase
-	Triage   *triage.Agent
-	Model    llm.Model
-	Val      *synth.Validator
-	Opts     Options
+	// Inc schedules the loop's corpus scans through the analysis-result
+	// cache: successive refinement rounds re-scan a near-identical
+	// checker over an unchanged corpus, so most per-function work is a
+	// cache hit, and the stillWarnsAt acceptance re-scans are pure hits.
+	Inc    *scan.Incremental
+	Triage *triage.Agent
+	Model  llm.Model
+	Val    *synth.Validator
+	Opts   Options
 }
 
-// NewLoop assembles a refinement loop.
+// Codebase returns the parsed corpus the loop scans.
+func (l *Loop) Codebase() *scan.Codebase { return l.Inc.Codebase() }
+
+// NewLoop assembles a refinement loop with a private in-memory result
+// cache. Use NewLoopWith to share a cache with other scan consumers
+// (eval harness, kserve).
 func NewLoop(cb *scan.Codebase, tr *triage.Agent, model llm.Model, val *synth.Validator, opts Options) *Loop {
-	return &Loop{Codebase: cb, Triage: tr, Model: model, Val: val, Opts: opts.withDefaults()}
+	return NewLoopWith(scan.NewIncremental(cb, nil), tr, model, val, opts)
+}
+
+// NewLoopWith assembles a refinement loop over an existing incremental
+// scanner (and therefore its result store).
+func NewLoopWith(inc *scan.Incremental, tr *triage.Agent, model llm.Model, val *synth.Validator, opts Options) *Loop {
+	return &Loop{Inc: inc, Triage: tr, Model: model, Val: val, Opts: opts.withDefaults()}
 }
 
 // Result of refining one checker.
@@ -105,7 +120,7 @@ func (l *Loop) Run(commit *vcs.Commit, spec *ckdsl.Spec) *Result {
 		}
 		res.Checker = ck
 		res.Spec = cur
-		scanRes := l.Codebase.RunOne(ck, scan.Options{MaxReports: l.Opts.ScanCap})
+		scanRes := l.Inc.RunOne(ck, scan.Options{MaxReports: l.Opts.ScanCap})
 		res.FinalReports = scanRes.Reports
 
 		if len(scanRes.Reports) < l.Opts.TPlausible {
@@ -175,28 +190,21 @@ func (l *Loop) acceptRefinement(commit *vcs.Commit, next *ckdsl.Spec, fps []*che
 	return cleared > 0
 }
 
-// stillWarnsAt re-analyzes the FP's file and checks whether the refined
-// checker still reports in the same function.
+// stillWarnsAt re-analyzes the FP's file — through the result cache, so
+// the unchanged functions of the file cost nothing — and checks whether
+// the refined checker still reports in the same function.
 func (l *Loop) stillWarnsAt(ck *ckdsl.Compiled, fp *checker.Report) bool {
-	for i, f := range l.Codebase.Corpus.Files {
-		if f.Path != fp.File {
-			continue
-		}
-		res := l.Codebase.Files[i]
-		out := scanFileWith(res, ck)
-		for _, r := range out {
-			if r.Func == fp.Func {
-				return true
-			}
-		}
+	i := l.Codebase().FileIndex(fp.File)
+	if i < 0 {
 		return false
 	}
+	out := l.Inc.RunFile(i, []checker.Checker{ck}, scan.Options{Workers: 1})
+	for _, r := range out.Reports {
+		if r.Func == fp.Func {
+			return true
+		}
+	}
 	return false
-}
-
-func scanFileWith(f *minic.File, ck *ckdsl.Compiled) []*checker.Report {
-	cb := &scan.Codebase{Files: []*minic.File{f}}
-	return cb.RunOne(ck, scan.Options{Workers: 1}).Reports
 }
 
 // fpFunctionSources extracts the source text of the FP functions for the
@@ -210,11 +218,12 @@ func (l *Loop) fpFunctionSources(fps []*checker.Report) []string {
 			continue
 		}
 		seen[key] = true
-		for i, f := range l.Codebase.Corpus.Files {
+		cb := l.Codebase()
+		for i, f := range cb.Corpus.Files {
 			if f.Path != fp.File {
 				continue
 			}
-			if fn := l.Codebase.Files[i].LookupFunc(fp.Func); fn != nil {
+			if fn := cb.Files[i].LookupFunc(fp.Func); fn != nil {
 				out = append(out, minic.FormatFunc(fn))
 			}
 		}

@@ -1,0 +1,182 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/store"
+)
+
+// Incremental is the function-level scan scheduler. Where Codebase.Run
+// fans out whole files and always re-analyzes everything, Incremental
+// consults a content-addressed result store per (function, checker
+// batch, engine bounds) triple, analyzes only the misses, and merges
+// everything back deterministically in file/function order — so a warm
+// re-scan of an unchanged corpus with an unchanged checker does no
+// symbolic execution at all, and its reports are identical to a cold
+// scan's.
+type Incremental struct {
+	cb *Codebase
+	st store.Store
+}
+
+// NewIncremental wraps a codebase with a result store. A nil store gets
+// a default in-memory LRU tier.
+func NewIncremental(cb *Codebase, st store.Store) *Incremental {
+	if st == nil {
+		st = store.NewMemory(0)
+	}
+	return &Incremental{cb: cb, st: st}
+}
+
+// Codebase returns the underlying parsed corpus.
+func (inc *Incremental) Codebase() *Codebase { return inc.cb }
+
+// Store returns the backing result store.
+func (inc *Incremental) Store() store.Store { return inc.st }
+
+// Stats snapshots the backing store's counters.
+func (inc *Incremental) Stats() store.Stats { return inc.st.Stats() }
+
+// Run scans every file through the cache.
+func (inc *Incremental) Run(checkers []checker.Checker, opts Options) *Result {
+	files := make([]int, len(inc.cb.Files))
+	for i := range files {
+		files[i] = i
+	}
+	return inc.RunFiles(files, checkers, opts)
+}
+
+// RunOne scans every file with a single checker.
+func (inc *Incremental) RunOne(ck checker.Checker, opts Options) *Result {
+	return inc.Run([]checker.Checker{ck}, opts)
+}
+
+// RunFile scans a single file through the cache (the refinement loop's
+// stillWarnsAt re-scans, which are near-pure cache hits).
+func (inc *Incremental) RunFile(i int, checkers []checker.Checker, opts Options) *Result {
+	return inc.RunFiles([]int{i}, checkers, opts)
+}
+
+// unit identifies one schedulable analysis: function fn of file file.
+type unit struct {
+	file int
+	fn   int
+}
+
+// RunFiles scans the given file indices through the cache. The merge
+// order — and therefore the report sequence — depends only on the order
+// of files and the function order within each file, never on worker
+// interleaving or cache state.
+func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts Options) *Result {
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	eo := opts.Engine
+	eo.Checkers = checkers
+	ckFP, cacheable := checkersFingerprint(checkers)
+	engFP := opts.Engine.Fingerprint()
+
+	var units []unit
+	for _, i := range files {
+		for j := range inc.cb.Files[i].Funcs {
+			units = append(units, unit{file: i, fn: j})
+		}
+	}
+	perFunc := make([]*engine.Result, len(units))
+	keys := make([]store.Key, len(units))
+	var misses []int
+	hits := 0
+	if cacheable {
+		for u, un := range units {
+			keys[u] = store.Key{
+				FuncHash:  inc.cb.FuncHash(un.file, un.fn),
+				CheckerFP: ckFP,
+				EngineFP:  engFP,
+			}
+			if r, ok := inc.st.Get(keys[u]); ok {
+				perFunc[u] = r
+				hits++
+			} else {
+				misses = append(misses, u)
+			}
+		}
+	} else {
+		misses = make([]int, len(units))
+		for u := range units {
+			misses[u] = u
+		}
+	}
+
+	if len(misses) > 0 {
+		var wg sync.WaitGroup
+		ch := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for u := range ch {
+					un := units[u]
+					f := inc.cb.Files[un.file]
+					perFunc[u] = engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
+					if cacheable {
+						inc.st.Put(keys[u], perFunc[u])
+					}
+				}
+			}()
+		}
+		for _, u := range misses {
+			ch <- u
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	// Deterministic merge: per-function results fold into a per-file
+	// result in function order (deduplicating within the file, exactly
+	// like engine.AnalyzeFile), then files concatenate in the given
+	// order — byte-identical to the uncached Codebase.Run path.
+	out := &Result{FilesScanned: len(files)}
+	if cacheable {
+		out.CacheHits = hits
+		out.CacheMisses = len(misses)
+	}
+	u := 0
+	for _, i := range files {
+		fileRes := &engine.Result{}
+		for range inc.cb.Files[i].Funcs {
+			fileRes.Merge(perFunc[u])
+			out.FuncsScanned++
+			u++
+		}
+		out.RuntimeErrs = append(out.RuntimeErrs, fileRes.RuntimeErrs...)
+		for _, rep := range fileRes.Reports {
+			if opts.MaxReports > 0 && len(out.Reports) >= opts.MaxReports {
+				out.Truncated = true
+				break
+			}
+			out.Reports = append(out.Reports, rep)
+		}
+	}
+	return out
+}
+
+// checkersFingerprint combines the fingerprints of an ordered checker
+// batch. It returns ok=false — caching disabled — if any checker does
+// not implement checker.Fingerprinter, since the cache cannot prove two
+// such checkers behave identically.
+func checkersFingerprint(cks []checker.Checker) (string, bool) {
+	parts := make([]string, 0, len(cks)+1)
+	parts = append(parts, "checkers:v1")
+	for _, ck := range cks {
+		fp, ok := ck.(checker.Fingerprinter)
+		if !ok {
+			return "", false
+		}
+		parts = append(parts, fp.Fingerprint())
+	}
+	return store.Hash(parts...), true
+}

@@ -1,0 +1,193 @@
+package scan
+
+import (
+	"encoding/json"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/ckdsl"
+	"knighter/internal/engine"
+	"knighter/internal/store"
+)
+
+// resultBytes serializes everything observable about a scan result so
+// two results can be compared byte-for-byte.
+func resultBytes(t *testing.T, r *Result) string {
+	t.Helper()
+	data, err := json.Marshal(struct {
+		Reports      []*checker.Report
+		RuntimeErrs  []engine.RuntimeErr
+		FilesScanned int
+		FuncsScanned int
+		Truncated    bool
+	}{r.Reports, r.RuntimeErrs, r.FilesScanned, r.FuncsScanned, r.Truncated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestIncrementalMatchesUncachedScan(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	plain := cb.RunOne(ck, Options{Workers: 1})
+
+	inc := NewIncremental(cb, store.NewMemory(0))
+	cold := inc.RunOne(ck, Options{Workers: 1})
+	if cold.CacheHits != 0 || cold.CacheMisses == 0 {
+		t.Fatalf("cold scan: hits=%d misses=%d", cold.CacheHits, cold.CacheMisses)
+	}
+	warm := inc.RunOne(ck, Options{Workers: 1})
+	if warm.CacheMisses != 0 {
+		t.Fatalf("warm scan missed %d times", warm.CacheMisses)
+	}
+	if warm.CacheHits != cold.CacheMisses {
+		t.Fatalf("warm hits = %d, want %d", warm.CacheHits, cold.CacheMisses)
+	}
+
+	want := resultBytes(t, plain)
+	if got := resultBytes(t, cold); got != want {
+		t.Fatal("cold incremental scan differs from uncached scan")
+	}
+	if got := resultBytes(t, warm); got != want {
+		t.Fatal("warm incremental scan differs from uncached scan")
+	}
+}
+
+func TestIncrementalDeterministicAcrossWorkersAndCacheState(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	base := cb.RunOne(ck, Options{Workers: 1})
+	want := resultBytes(t, base)
+
+	if got := resultBytes(t, cb.RunOne(ck, Options{Workers: 8})); got != want {
+		t.Fatal("Workers=8 uncached scan differs from Workers=1")
+	}
+	for _, workers := range []int{1, 8} {
+		inc := NewIncremental(cb, store.NewMemory(0))
+		cold := inc.RunOne(ck, Options{Workers: workers})
+		warm := inc.RunOne(ck, Options{Workers: workers})
+		if got := resultBytes(t, cold); got != want {
+			t.Fatalf("cold incremental workers=%d differs", workers)
+		}
+		if got := resultBytes(t, warm); got != want {
+			t.Fatalf("warm incremental workers=%d differs", workers)
+		}
+	}
+}
+
+func TestIncrementalMaxReportsAggregatesFully(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	full := cb.RunOne(ck, Options{})
+	totalFuncs := full.FuncsScanned
+
+	for name, run := range map[string]func() *Result{
+		"plain":       func() *Result { return cb.RunOne(ck, Options{MaxReports: 2}) },
+		"incremental": func() *Result { return NewIncremental(cb, nil).RunOne(ck, Options{MaxReports: 2}) },
+	} {
+		res := run()
+		if len(res.Reports) != 2 || !res.Truncated {
+			t.Fatalf("%s: reports=%d truncated=%v", name, len(res.Reports), res.Truncated)
+		}
+		// The truncated result must still account for the whole scan.
+		if res.FuncsScanned != totalFuncs {
+			t.Fatalf("%s: FuncsScanned=%d, want %d", name, res.FuncsScanned, totalFuncs)
+		}
+		if res.FilesScanned != len(cb.Files) {
+			t.Fatalf("%s: FilesScanned=%d, want %d", name, res.FilesScanned, len(cb.Files))
+		}
+	}
+}
+
+// unfingerprintedChecker wraps a checker behind the base interface, so
+// the Fingerprint method is not promoted and scans must bypass the
+// cache.
+type unfingerprintedChecker struct{ checker.Checker }
+
+func TestIncrementalBypassesCacheForUnfingerprintedCheckers(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := unfingerprintedChecker{compileChecker(t)}
+	st := store.NewMemory(0)
+	inc := NewIncremental(cb, st)
+
+	first := inc.RunOne(ck, Options{})
+	second := inc.RunOne(ck, Options{})
+	if first.CacheHits != 0 || second.CacheHits != 0 {
+		t.Fatal("cache used for a checker without a fingerprint")
+	}
+	if s := st.Stats(); s.Puts != 0 || s.Hits != 0 || s.Misses != 0 {
+		t.Fatalf("store touched: %+v", s)
+	}
+	if resultBytes(t, first) != resultBytes(t, second) {
+		t.Fatal("uncacheable scans not deterministic")
+	}
+}
+
+func TestIncrementalKeysSeparateCheckersAndEngineOptions(t *testing.T) {
+	cb := buildCodebase(t)
+	ck1 := compileChecker(t)
+	ck2, err := ckdsl.CompileSource(`
+checker scan_other {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc := NewIncremental(cb, store.NewMemory(0))
+	inc.RunOne(ck1, Options{})
+	// A different checker must not hit ck1's entries.
+	if res := inc.RunOne(ck2, Options{}); res.CacheHits != 0 {
+		t.Fatalf("checker fingerprint collision: %d hits", res.CacheHits)
+	}
+	// Different engine bounds must not hit either.
+	if res := inc.RunOne(ck1, Options{Engine: engine.Options{MaxPaths: 7}}); res.CacheHits != 0 {
+		t.Fatalf("engine fingerprint collision: %d hits", res.CacheHits)
+	}
+	// Zero options and explicit defaults are the same configuration.
+	if res := inc.RunOne(ck1, Options{Engine: engine.Options{
+		MaxBlockVisits: 2, MaxPaths: 512, MaxSteps: 20000, MaxTrace: 24,
+	}}); res.CacheMisses != 0 {
+		t.Fatalf("explicit-default engine options missed %d times", res.CacheMisses)
+	}
+}
+
+func TestIncrementalRunFileWarmsOnlyThatFile(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	inc := NewIncremental(cb, store.NewMemory(0))
+
+	one := inc.RunFile(0, []checker.Checker{ck}, Options{})
+	if one.FilesScanned != 1 || one.FuncsScanned != len(cb.Files[0].Funcs) {
+		t.Fatalf("RunFile scanned files=%d funcs=%d", one.FilesScanned, one.FuncsScanned)
+	}
+	again := inc.RunFile(0, []checker.Checker{ck}, Options{})
+	if again.CacheMisses != 0 {
+		t.Fatalf("re-scan of file 0 missed %d times", again.CacheMisses)
+	}
+	full := inc.RunOne(ck, Options{})
+	if full.CacheHits != len(cb.Files[0].Funcs) {
+		t.Fatalf("full scan hit %d entries, want %d (file 0 only)", full.CacheHits, len(cb.Files[0].Funcs))
+	}
+}
+
+func TestFuncHashSensitivity(t *testing.T) {
+	cb := buildCodebase(t)
+	if cb.FuncHash(0, 0) != cb.FuncHash(0, 0) {
+		t.Fatal("FuncHash not deterministic")
+	}
+	if len(cb.Files[0].Funcs) > 1 && cb.FuncHash(0, 0) == cb.FuncHash(0, 1) {
+		t.Fatal("distinct functions share a hash")
+	}
+	if cb.FileIndex(cb.Files[0].Name) != 0 {
+		t.Fatal("FileIndex broken")
+	}
+	if cb.FileIndex("no/such/file.c") != -1 {
+		t.Fatal("FileIndex found a nonexistent file")
+	}
+}

@@ -1,5 +1,8 @@
 // Package scan orchestrates whole-corpus analysis runs: the
-// reproduction's analog of scanning the Linux tree with -j32 (§5).
+// reproduction's analog of scanning the Linux tree with -j32 (§5). It
+// offers two schedulers: Codebase.Run, a file-level fan-out that always
+// analyzes everything, and Incremental, a function-level scheduler that
+// consults a content-addressed result cache and only analyzes misses.
 package scan
 
 import (
@@ -11,12 +14,20 @@ import (
 	"knighter/internal/engine"
 	"knighter/internal/kernel"
 	"knighter/internal/minic"
+	"knighter/internal/store"
 )
 
 // Codebase is a parsed corpus, reusable across many checker runs.
 type Codebase struct {
 	Corpus *kernel.Corpus
 	Files  []*minic.File
+
+	// Content hashes for the incremental scheduler, computed lazily and
+	// memoized: a function's analysis depends on its own source plus the
+	// file-level declarations it can see, so the hash covers both.
+	hashMu     sync.Mutex
+	ctxHashes  []string
+	funcHashes map[[2]int]string
 }
 
 // NewCodebase parses every corpus file once.
@@ -30,6 +41,43 @@ func NewCodebase(c *kernel.Corpus) (*Codebase, error) {
 		cb.Files = append(cb.Files, pf)
 	}
 	return cb, nil
+}
+
+// FuncHash returns the content address of function j of file i: a hash
+// of the canonical rendering of the function plus the file context
+// (file name, structs, globals) its analysis can observe.
+func (cb *Codebase) FuncHash(i, j int) string {
+	cb.hashMu.Lock()
+	defer cb.hashMu.Unlock()
+	if cb.funcHashes == nil {
+		cb.funcHashes = map[[2]int]string{}
+	}
+	k := [2]int{i, j}
+	if h, ok := cb.funcHashes[k]; ok {
+		return h
+	}
+	if cb.ctxHashes == nil {
+		cb.ctxHashes = make([]string, len(cb.Files))
+	}
+	f := cb.Files[i]
+	if cb.ctxHashes[i] == "" {
+		ctx := minic.FormatFile(&minic.File{Name: f.Name, Structs: f.Structs, Globals: f.Globals})
+		cb.ctxHashes[i] = store.Hash("filectx:v1", f.Name, ctx)
+	}
+	h := store.Hash("func:v1", cb.ctxHashes[i], minic.FormatFunc(f.Funcs[j]))
+	cb.funcHashes[k] = h
+	return h
+}
+
+// FileIndex returns the index of the parsed file with the given path,
+// or -1.
+func (cb *Codebase) FileIndex(path string) int {
+	for i, f := range cb.Files {
+		if f.Name == path {
+			return i
+		}
+	}
+	return -1
 }
 
 // Options configures a scan.
@@ -50,6 +98,11 @@ type Result struct {
 	FilesScanned int
 	FuncsScanned int
 	Truncated    bool
+	// CacheHits and CacheMisses count per-function cache outcomes for
+	// incremental scans (both zero for uncached Codebase.Run scans and
+	// for uncacheable checker batches).
+	CacheHits   int
+	CacheMisses int
 }
 
 // Run scans the whole codebase with the given checkers. Results are
@@ -86,8 +139,11 @@ func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
 		out.RuntimeErrs = append(out.RuntimeErrs, r.RuntimeErrs...)
 		for _, rep := range r.Reports {
 			if opts.MaxReports > 0 && len(out.Reports) >= opts.MaxReports {
+				// Stop collecting reports but keep aggregating counters
+				// and runtime errors from the remaining files, so a
+				// truncated result still reflects the whole scan.
 				out.Truncated = true
-				return out
+				break
 			}
 			out.Reports = append(out.Reports, rep)
 		}

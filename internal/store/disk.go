@@ -1,0 +1,90 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"knighter/internal/engine"
+)
+
+// Disk is the optional on-disk tier: one JSON file per entry, named by
+// the key's content address. It survives process restarts, so a kserve
+// daemon (or a repeated eval run) starts warm. All I/O errors are
+// treated as cache misses — the disk tier is best-effort by design.
+type Disk struct {
+	dir   string
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewDisk returns a disk store rooted at dir, creating it if needed.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	return &Disk{dir: dir}, nil
+}
+
+func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.ID()+".json") }
+
+// Get implements Store.
+func (d *Disk) Get(k Key) (*engine.Result, bool) {
+	data, err := os.ReadFile(d.path(k))
+	if err != nil {
+		d.count(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	var res engine.Result
+	if err := json.Unmarshal(data, &res); err != nil {
+		d.count(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	d.count(func(s *Stats) { s.Hits++ })
+	return &res, true
+}
+
+// Put implements Store. The write is atomic (temp file + rename) so a
+// concurrent reader never observes a torn entry.
+func (d *Disk) Put(k Key, r *engine.Result) {
+	if r == nil {
+		return
+	}
+	data, err := json.Marshal(r)
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(d.dir, "put-*")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	d.count(func(s *Stats) { s.Puts++ })
+}
+
+// Stats implements Store. Entries counts the files currently on disk.
+func (d *Disk) Stats() Stats {
+	d.mu.Lock()
+	s := d.stats
+	d.mu.Unlock()
+	if names, err := filepath.Glob(filepath.Join(d.dir, "*.json")); err == nil {
+		s.Entries = len(names)
+	}
+	return s
+}
+
+func (d *Disk) count(f func(*Stats)) {
+	d.mu.Lock()
+	f(&d.stats)
+	d.mu.Unlock()
+}

@@ -1,0 +1,83 @@
+package store
+
+import (
+	"container/list"
+	"sync"
+
+	"knighter/internal/engine"
+)
+
+// DefaultMemoryEntries bounds the in-memory tier when the caller passes
+// a non-positive capacity. Sized for a full-scale corpus (a few thousand
+// functions) times a handful of live checker fingerprints.
+const DefaultMemoryEntries = 1 << 14
+
+// Memory is the in-memory LRU tier.
+type Memory struct {
+	mu      sync.Mutex
+	max     int
+	ll      *list.List // front = most recently used
+	entries map[string]*list.Element
+	stats   Stats
+}
+
+type memEntry struct {
+	id  string
+	res *engine.Result
+}
+
+// NewMemory returns an LRU store holding at most maxEntries results
+// (DefaultMemoryEntries when maxEntries <= 0).
+func NewMemory(maxEntries int) *Memory {
+	if maxEntries <= 0 {
+		maxEntries = DefaultMemoryEntries
+	}
+	return &Memory{max: maxEntries, ll: list.New(), entries: map[string]*list.Element{}}
+}
+
+// Get implements Store.
+func (m *Memory) Get(k Key) (*engine.Result, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	el, ok := m.entries[k.ID()]
+	if !ok {
+		m.stats.Misses++
+		return nil, false
+	}
+	m.ll.MoveToFront(el)
+	m.stats.Hits++
+	return el.Value.(*memEntry).res.Clone(), true
+}
+
+// Put implements Store.
+func (m *Memory) Put(k Key, r *engine.Result) {
+	if r == nil {
+		return
+	}
+	id := k.ID()
+	stored := r.Clone()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.stats.Puts++
+	if el, ok := m.entries[id]; ok {
+		el.Value.(*memEntry).res = stored
+		m.ll.MoveToFront(el)
+		return
+	}
+	m.entries[id] = m.ll.PushFront(&memEntry{id: id, res: stored})
+	for m.ll.Len() > m.max {
+		back := m.ll.Back()
+		m.ll.Remove(back)
+		delete(m.entries, back.Value.(*memEntry).id)
+		m.stats.Evictions++
+	}
+}
+
+// Stats implements Store.
+func (m *Memory) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	s := m.stats
+	s.Entries = m.ll.Len()
+	return s
+}

@@ -1,0 +1,90 @@
+// Package store implements the content-addressed analysis-result cache
+// of the incremental scan service.
+//
+// Analysis of one function is a pure function of three inputs: the
+// function's source (plus the file-level declarations it can see), the
+// checker semantics, and the engine bounds. The cache keys cached
+// engine.Results by exactly that triple, so any scan — a refinement
+// round re-running a barely-changed checker, an eval harness replaying
+// the corpus, a kserve request — reuses every per-function result whose
+// inputs did not change. This is the paper's §5 deployment cost
+// (whole-tree -j32 re-scans per checker revision) turned incremental.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+
+	"knighter/internal/engine"
+)
+
+// Key addresses one cached per-function analysis result.
+type Key struct {
+	// FuncHash covers the function source and the file context visible
+	// to analysis (file name, struct and global declarations).
+	FuncHash string
+	// CheckerFP covers the semantics of the checker batch, in order.
+	CheckerFP string
+	// EngineFP covers the engine's analysis bounds.
+	EngineFP string
+}
+
+// ID collapses the key to a fixed-length content address, usable as a
+// map key or a file name.
+func (k Key) ID() string {
+	h := sha256.Sum256([]byte("key:v1\x00" + k.FuncHash + "\x00" + k.CheckerFP + "\x00" + k.EngineFP))
+	return hex.EncodeToString(h[:])
+}
+
+// Hash content-addresses a list of byte-strings (null-separated, so
+// ("ab","c") and ("a","bc") hash differently).
+func Hash(parts ...string) string {
+	h := sha256.New()
+	for _, p := range parts {
+		h.Write([]byte(p))
+		h.Write([]byte{0})
+	}
+	return hex.EncodeToString(h.Sum(nil)[:16])
+}
+
+// Stats is a point-in-time snapshot of cache-effectiveness counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Puts      int64 `json:"puts"`
+	Evictions int64 `json:"evictions"`
+	Entries   int   `json:"entries"`
+}
+
+// HitRate returns hits/(hits+misses), or 0 before any lookup.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Add folds other's counters into s (Entries is summed too: tiers hold
+// disjoint entry sets from the caller's perspective).
+func (s Stats) Add(other Stats) Stats {
+	s.Hits += other.Hits
+	s.Misses += other.Misses
+	s.Puts += other.Puts
+	s.Evictions += other.Evictions
+	s.Entries += other.Entries
+	return s
+}
+
+// Store is an analysis-result cache tier. Implementations must be safe
+// for concurrent use and must return results that are semantically
+// identical to what was stored (Get always hands back an independent
+// clone, so callers may append to or re-sort the result's slices).
+type Store interface {
+	// Get returns the cached result for k, or (nil, false).
+	Get(k Key) (*engine.Result, bool)
+	// Put stores r under k, overwriting any previous entry.
+	Put(k Key, r *engine.Result)
+	// Stats snapshots the tier's counters.
+	Stats() Stats
+}

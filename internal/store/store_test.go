@@ -1,0 +1,167 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/minic"
+)
+
+func key(n byte) Key {
+	return Key{FuncHash: string([]byte{'f', n}), CheckerFP: "ck", EngineFP: "eng"}
+}
+
+func result(msg string) *engine.Result {
+	return &engine.Result{
+		Reports: []*checker.Report{{
+			Checker: "knighter.t", BugType: "T", Message: msg,
+			File: "a.c", Func: "f", Pos: minic.Pos{File: "a.c", Line: 3, Col: 1},
+			Trace: []checker.TraceStep{{Pos: minic.Pos{File: "a.c", Line: 2, Col: 1}, Note: "assuming 'p' is true"}},
+		}},
+		Paths: 2, Steps: 10,
+		RuntimeErrs: []engine.RuntimeErr{{Func: "f", Checker: "knighter.t", Panic: "boom"}},
+	}
+}
+
+func TestHashSeparatesParts(t *testing.T) {
+	if Hash("ab", "c") == Hash("a", "bc") {
+		t.Fatal("Hash does not separate parts")
+	}
+	if Hash("x") != Hash("x") {
+		t.Fatal("Hash is not deterministic")
+	}
+}
+
+func TestKeyIDVariesPerComponent(t *testing.T) {
+	base := Key{FuncHash: "f", CheckerFP: "c", EngineFP: "e"}
+	for _, k := range []Key{
+		{FuncHash: "g", CheckerFP: "c", EngineFP: "e"},
+		{FuncHash: "f", CheckerFP: "d", EngineFP: "e"},
+		{FuncHash: "f", CheckerFP: "c", EngineFP: "x"},
+	} {
+		if k.ID() == base.ID() {
+			t.Fatalf("key %+v collides with base", k)
+		}
+	}
+}
+
+func TestMemoryRoundTrip(t *testing.T) {
+	m := NewMemory(8)
+	if _, ok := m.Get(key(1)); ok {
+		t.Fatal("empty store hit")
+	}
+	m.Put(key(1), result("one"))
+	got, ok := m.Get(key(1))
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	want, _ := json.Marshal(result("one"))
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("round trip mismatch:\n%s\n%s", want, have)
+	}
+	s := m.Stats()
+	if s.Hits != 1 || s.Misses != 1 || s.Puts != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestMemoryGetReturnsIndependentClone(t *testing.T) {
+	m := NewMemory(8)
+	m.Put(key(1), result("one"))
+	got, _ := m.Get(key(1))
+	got.Reports = got.Reports[:0] // caller truncates its copy
+	got.RuntimeErrs = append(got.RuntimeErrs, engine.RuntimeErr{Func: "x"})
+	again, _ := m.Get(key(1))
+	if len(again.Reports) != 1 || len(again.RuntimeErrs) != 1 {
+		t.Fatalf("cached entry corrupted by caller mutation: %+v", again)
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	m := NewMemory(2)
+	m.Put(key(1), result("1"))
+	m.Put(key(2), result("2"))
+	m.Get(key(1)) // 1 is now most recently used
+	m.Put(key(3), result("3"))
+	if _, ok := m.Get(key(2)); ok {
+		t.Fatal("LRU entry 2 should have been evicted")
+	}
+	if _, ok := m.Get(key(1)); !ok {
+		t.Fatal("recently used entry 1 evicted")
+	}
+	if _, ok := m.Get(key(3)); !ok {
+		t.Fatal("new entry 3 missing")
+	}
+	if s := m.Stats(); s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskRoundTripByteIdentical(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := result("disk")
+	d.Put(key(1), in)
+	got, ok := d.Get(key(1))
+	if !ok {
+		t.Fatal("miss after put")
+	}
+	want, _ := json.Marshal(in)
+	have, _ := json.Marshal(got)
+	if string(want) != string(have) {
+		t.Fatalf("disk round trip not byte-identical:\n%s\n%s", want, have)
+	}
+	if s := d.Stats(); s.Entries != 1 || s.Puts != 1 || s.Hits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestTieredPromotesDiskHits(t *testing.T) {
+	mem := NewMemory(8)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk.Put(key(1), result("warm-from-disk"))
+	tiered := NewTiered(mem, disk)
+
+	if _, ok := tiered.Get(key(1)); !ok {
+		t.Fatal("tiered miss on disk-resident entry")
+	}
+	if s := mem.Stats(); s.Puts != 1 {
+		t.Fatalf("disk hit not promoted to memory: %+v", s)
+	}
+	if _, ok := tiered.Get(key(1)); !ok {
+		t.Fatal("miss after promotion")
+	}
+	if s := tiered.Stats(); s.Hits != 2 || s.Misses != 0 {
+		t.Fatalf("tiered stats = %+v", s)
+	}
+
+	tiered.Put(key(2), result("two"))
+	if _, ok := mem.Get(key(2)); !ok {
+		t.Fatal("put did not reach memory tier")
+	}
+	if _, ok := disk.Get(key(2)); !ok {
+		t.Fatal("put did not reach disk tier")
+	}
+}
+
+func TestStatsHitRate(t *testing.T) {
+	if (Stats{}).HitRate() != 0 {
+		t.Fatal("empty stats hit rate")
+	}
+	s := Stats{Hits: 9, Misses: 1}
+	if r := s.HitRate(); r != 0.9 {
+		t.Fatalf("hit rate = %v", r)
+	}
+	sum := s.Add(Stats{Hits: 1, Misses: 9, Puts: 2, Entries: 3})
+	if sum.Hits != 10 || sum.Misses != 10 || sum.Puts != 2 || sum.Entries != 3 {
+		t.Fatalf("Add = %+v", sum)
+	}
+}

@@ -1,0 +1,71 @@
+package store
+
+import (
+	"sync"
+
+	"knighter/internal/engine"
+)
+
+// Tiered composes a fast front tier (typically Memory) with a larger
+// back tier (typically Disk). Gets probe front-to-back and promote back
+// hits into the front tier; Puts write through to both.
+type Tiered struct {
+	front Store
+	back  Store
+	mu    sync.Mutex
+	stats Stats
+}
+
+// NewTiered composes front and back into one store.
+func NewTiered(front, back Store) *Tiered {
+	return &Tiered{front: front, back: back}
+}
+
+// Get implements Store.
+func (t *Tiered) Get(k Key) (*engine.Result, bool) {
+	if r, ok := t.front.Get(k); ok {
+		t.count(func(s *Stats) { s.Hits++ })
+		return r, true
+	}
+	if r, ok := t.back.Get(k); ok {
+		t.front.Put(k, r)
+		t.count(func(s *Stats) { s.Hits++ })
+		return r, true
+	}
+	t.count(func(s *Stats) { s.Misses++ })
+	return nil, false
+}
+
+// Put implements Store.
+func (t *Tiered) Put(k Key, r *engine.Result) {
+	t.front.Put(k, r)
+	t.back.Put(k, r)
+	t.count(func(s *Stats) { s.Puts++ })
+}
+
+// Stats implements Store: the composite's own hit/miss/put counters,
+// with entries and evictions aggregated from the tiers.
+func (t *Tiered) Stats() Stats {
+	t.mu.Lock()
+	s := t.stats
+	t.mu.Unlock()
+	front, back := t.front.Stats(), t.back.Stats()
+	s.Evictions = front.Evictions + back.Evictions
+	s.Entries = back.Entries
+	if s.Entries == 0 {
+		s.Entries = front.Entries
+	}
+	return s
+}
+
+// TierStats exposes the per-tier snapshots (front, back) for
+// observability endpoints.
+func (t *Tiered) TierStats() (Stats, Stats) {
+	return t.front.Stats(), t.back.Stats()
+}
+
+func (t *Tiered) count(f func(*Stats)) {
+	t.mu.Lock()
+	f(&t.stats)
+	t.mu.Unlock()
+}
