@@ -473,3 +473,68 @@ checker bench_validate {
 		val.Validate(ck, c)
 	}
 }
+
+// BenchmarkScanAfterPatch measures the mutable-corpus steady state: a
+// warm store, one function patched per iteration, then a full re-scan.
+// Only the patched function re-analyzes; everything else is a cache
+// hit, so this should sit near BenchmarkScanWarmCache, not
+// BenchmarkScanColdCache.
+func BenchmarkScanAfterPatch(b *testing.B) {
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: benchScale})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ck := mustChecker(b, benchCacheDSL)
+	inc := scan.NewIncremental(cb, store.NewMemory(0))
+
+	// Pick a file, canonicalize it, and prepare two variants of its last
+	// function to alternate between (so every iteration really mutates).
+	path := cb.Files[0].Name
+	if _, err := inc.Replace(path, minic.FormatFile(cb.Files[0])); err != nil {
+		b.Fatal(err)
+	}
+	fn := cb.Files[0].Funcs[len(cb.Files[0].Funcs)-1]
+	orig := minic.FormatFunc(fn)
+	brace := strings.Index(orig, "{")
+	alt := orig[:brace+1] + "\n\tint bench_probe;" + orig[brace+1:]
+	inc.RunOne(ck, scan.Options{}) // warm every entry
+
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		src := alt
+		if i%2 == 1 {
+			src = orig
+		}
+		if _, err := inc.Patch(path, fn.Name, src); err != nil {
+			b.Fatal(err)
+		}
+		res = inc.RunOne(ck, scan.Options{})
+	}
+	if res.CacheMisses != 1 {
+		b.Fatalf("post-patch scan missed %d times, want 1", res.CacheMisses)
+	}
+	b.ReportMetric(float64(res.CacheHits), "cache-hits")
+}
+
+// BenchmarkBatchScanWarm measures the kserve /batch steady state: four
+// checker revisions scheduled over a fully warmed shared store.
+func BenchmarkBatchScanWarm(b *testing.B) {
+	h, _, _ := setupBench(b)
+	var cks []checker.Checker
+	for _, name := range []string{"rev_a", "rev_b", "rev_c", "rev_d"} {
+		cks = append(cks, mustChecker(b, strings.ReplaceAll(benchCacheDSL, "bench_cache", name)))
+	}
+	inc := scan.NewIncremental(h.Codebase, store.NewMemory(0))
+	inc.RunBatch(cks, nil, scan.Options{}, 0) // warm all four
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		results := inc.RunBatch(cks, nil, scan.Options{}, 0)
+		for _, res := range results {
+			if res.CacheMisses != 0 {
+				b.Fatalf("warm batch missed %d times", res.CacheMisses)
+			}
+		}
+	}
+}

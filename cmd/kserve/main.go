@@ -5,17 +5,23 @@
 // This is the deployment shape the paper's §5 scans want: checker
 // synthesis and refinement issue many near-identical scans of the same
 // tree, and a warm daemon answers repeats from cache instead of
-// re-executing the analyzer.
+// re-executing the analyzer. The corpus is mutable in place — POST
+// /patch applies a code update and only the touched functions go cold —
+// and POST /batch evaluates N checker revisions in one request over a
+// bounded worker pool (StaAgent-style many-revision evaluation).
 //
 // Usage:
 //
 //	kserve                         # serve the synthetic corpus on :8321
 //	kserve -addr :9000 -scale 0.5
-//	kserve -cache-dir /var/cache/kserve   # add a persistent disk tier
+//	kserve -cache-dir /var/cache/kserve -cache-ttl 72h
+//	kserve -func-timeout 2s        # default per-function analysis budget
 //
 // Endpoints:
 //
 //	POST /scan     {"checker": "<DSL text>", "files": [...], "max_reports": n}
+//	POST /batch    {"checkers": ["<DSL>", ...], "concurrency": n, ...}
+//	POST /patch    {"path": "...", "func": "...", "source": "..."}
 //	GET  /stats    cache + service counters
 //	GET  /healthz  liveness
 package main
@@ -27,6 +33,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,6 +50,8 @@ func main() {
 	scale := flag.Float64("scale", 1.0, "corpus scale")
 	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache capacity (0 = default)")
 	cacheDir := flag.String("cache-dir", "", "optional on-disk cache tier directory")
+	cacheTTL := flag.Duration("cache-ttl", 0, "drop disk-tier entries older than this (0 = keep forever)")
+	funcTimeout := flag.Duration("func-timeout", 0, "default per-function analysis budget (0 = none)")
 	flag.Parse()
 
 	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
@@ -52,8 +61,9 @@ func main() {
 		os.Exit(1)
 	}
 	var st store.Store = store.NewMemory(*cacheEntries)
+	var disk *store.Disk
 	if *cacheDir != "" {
-		disk, err := store.NewDisk(*cacheDir)
+		disk, err = store.NewDisk(*cacheDir)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
@@ -61,7 +71,11 @@ func main() {
 		st = store.NewTiered(st, disk)
 	}
 	srv := newServer(scan.NewIncremental(cb, st))
-	log.Printf("kserve: serving %d files / %d functions on %s", len(cb.Files), srv.funcs, *addr)
+	srv.funcTimeout = *funcTimeout
+	if disk != nil && *cacheTTL > 0 {
+		srv.startDiskGC(disk, *cacheTTL)
+	}
+	log.Printf("kserve: serving %d files / %d functions on %s", len(cb.Files), cb.NumFuncs(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
 }
 
@@ -70,24 +84,58 @@ func main() {
 type server struct {
 	inc     *scan.Incremental
 	started time.Time
-	funcs   int
+	// funcTimeout is the default per-function analysis budget applied
+	// when a request does not set its own.
+	funcTimeout time.Duration
+
+	// mu serializes corpus mutations against scans: /scan and /batch
+	// hold the read lock, /patch the write lock — so a patch waits for
+	// in-flight requests to drain and a batch never sees a half-updated
+	// corpus between its checkers. (scan.Codebase has its own internal
+	// lock; this one widens the critical section to a whole request.)
+	mu sync.RWMutex
 
 	scans         atomic.Int64
+	batches       atomic.Int64
+	patches       atomic.Int64
 	scanErrors    atomic.Int64
 	reportsServed atomic.Int64
+	gcRemoved     atomic.Int64
 }
 
 func newServer(inc *scan.Incremental) *server {
-	s := &server{inc: inc, started: time.Now()}
-	for _, f := range inc.Codebase().Files {
-		s.funcs += len(f.Funcs)
+	return &server{inc: inc, started: time.Now()}
+}
+
+// startDiskGC sweeps the disk tier every ttl/4 (at least once a minute,
+// at most every 15 minutes), dropping entries older than ttl.
+func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
+	every := ttl / 4
+	if every < time.Minute {
+		every = time.Minute
 	}
-	return s
+	if every > 15*time.Minute {
+		every = 15 * time.Minute
+	}
+	go func() {
+		for {
+			n, err := disk.GC(ttl)
+			if err != nil {
+				log.Printf("kserve: disk GC: %v", err)
+			} else if n > 0 {
+				s.gcRemoved.Add(int64(n))
+				log.Printf("kserve: disk GC dropped %d entries older than %s", n, ttl)
+			}
+			time.Sleep(every)
+		}
+	}()
 }
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/scan", s.handleScan)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/patch", s.handlePatch)
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -103,6 +151,9 @@ type scanRequest struct {
 	MaxReports int `json:"max_reports,omitempty"`
 	// Workers overrides the parallelism degree (0 = GOMAXPROCS).
 	Workers int `json:"workers,omitempty"`
+	// FuncTimeoutMS overrides the server's per-function analysis budget
+	// in milliseconds (0 = server default).
+	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
 	// IncludeTrace adds the per-report path trace to the response.
 	IncludeTrace bool `json:"include_trace,omitempty"`
 }
@@ -133,16 +184,87 @@ type cacheJSON struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
-// scanResponse is the POST /scan reply.
+func cacheOf(res *scan.Result) cacheJSON {
+	return cacheJSON{
+		Hits:    res.CacheHits,
+		Misses:  res.CacheMisses,
+		HitRate: store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
+	}
+}
+
+// scanResponse is the POST /scan reply, and one entry of POST /batch.
 type scanResponse struct {
 	Checker      string       `json:"checker"`
+	Error        string       `json:"error,omitempty"`
 	Reports      []reportJSON `json:"reports"`
 	FilesScanned int          `json:"files_scanned"`
 	FuncsScanned int          `json:"funcs_scanned"`
 	RuntimeErrs  []string     `json:"runtime_errs,omitempty"`
 	Truncated    bool         `json:"truncated"`
+	TimedOut     int          `json:"funcs_timed_out,omitempty"`
 	Cache        cacheJSON    `json:"cache"`
 	ElapsedMS    float64      `json:"elapsed_ms"`
+}
+
+func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool) *scanResponse {
+	resp := &scanResponse{
+		Checker:      name,
+		Reports:      make([]reportJSON, 0, len(res.Reports)),
+		FilesScanned: res.FilesScanned,
+		FuncsScanned: res.FuncsScanned,
+		Truncated:    res.Truncated,
+		TimedOut:     res.FuncsTimedOut,
+		Cache:        cacheOf(res),
+		// The scan's own wall time: for a batch entry this is the
+		// individual checker's cost, not the whole batch's.
+		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
+	}
+	for _, rep := range res.Reports {
+		rj := reportJSON{
+			Checker: rep.Checker, BugType: rep.BugType, Message: rep.Message,
+			File: rep.File, Func: rep.Func, Line: rep.Pos.Line, Col: rep.Pos.Col,
+			Region: rep.RegionAt,
+		}
+		if includeTrace {
+			for _, t := range rep.Trace {
+				rj.Trace = append(rj.Trace, traceJSON{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
+			}
+		}
+		resp.Reports = append(resp.Reports, rj)
+	}
+	for _, re := range res.RuntimeErrs {
+		resp.RuntimeErrs = append(resp.RuntimeErrs, re.Error())
+	}
+	s.reportsServed.Add(int64(len(resp.Reports)))
+	return resp
+}
+
+// resolveFiles maps request paths to file indices (nil = all files).
+func (s *server) resolveFiles(paths []string) ([]int, error) {
+	if len(paths) == 0 {
+		return nil, nil
+	}
+	files := make([]int, 0, len(paths))
+	for _, path := range paths {
+		i := s.inc.Codebase().FileIndex(path)
+		if i < 0 {
+			return nil, fmt.Errorf("unknown file: %s", path)
+		}
+		files = append(files, i)
+	}
+	return files, nil
+}
+
+func (s *server) scanOptions(maxReports, workers, funcTimeoutMS int) scan.Options {
+	opts := scan.Options{
+		Workers:     workers,
+		MaxReports:  maxReports,
+		FuncTimeout: s.funcTimeout,
+	}
+	if funcTimeoutMS > 0 {
+		opts.FuncTimeout = time.Duration(funcTimeoutMS) * time.Millisecond
+	}
+	return opts
 }
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
@@ -167,63 +289,189 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusUnprocessableEntity, "checker does not compile: "+err.Error())
 		return
 	}
-	cb := s.inc.Codebase()
-	files := make([]int, 0, len(cb.Files))
-	if len(req.Files) == 0 {
-		for i := range cb.Files {
-			files = append(files, i)
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	files, err := s.resolveFiles(req.Files)
+	if err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	if files == nil {
+		files = allFiles(s.inc.Codebase())
+	}
+
+	res := s.inc.RunFiles(files, []checker.Checker{ck},
+		s.scanOptions(req.MaxReports, req.Workers, req.FuncTimeoutMS))
+	s.scans.Add(1)
+	writeJSON(w, http.StatusOK, s.toScanResponse(ck.Name(), res, req.IncludeTrace))
+}
+
+// batchRequest is the POST /batch body: N checker revisions evaluated
+// over the shared store in one request.
+type batchRequest struct {
+	// Checkers are the checker-DSL program texts.
+	Checkers []string `json:"checkers"`
+	// Files optionally restricts every scan to these corpus paths.
+	Files []string `json:"files,omitempty"`
+	// MaxReports caps collected reports per checker (0 = unlimited).
+	MaxReports int `json:"max_reports,omitempty"`
+	// Workers overrides each scan's parallelism (0 = auto-scaled to the
+	// pool size).
+	Workers int `json:"workers,omitempty"`
+	// Concurrency bounds how many checkers run at once (0 = GOMAXPROCS).
+	Concurrency int `json:"concurrency,omitempty"`
+	// FuncTimeoutMS overrides the server's per-function analysis budget.
+	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
+	// IncludeTrace adds per-report path traces to the responses.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+}
+
+// batchResponse is the POST /batch reply: per-checker results in request
+// order plus aggregate cache effectiveness.
+type batchResponse struct {
+	Results []*scanResponse `json:"results"`
+	// CheckersRun counts checkers that compiled and scanned;
+	// CheckerErrors counts entries rejected at compile time.
+	CheckersRun   int       `json:"checkers_run"`
+	CheckerErrors int       `json:"checker_errors"`
+	Cache         cacheJSON `json:"cache"`
+	ElapsedMS     float64   `json:"elapsed_ms"`
+}
+
+func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req batchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Checkers) == 0 {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "missing 'checkers' (list of DSL texts)")
+		return
+	}
+
+	// Compile every checker first; a bad revision gets a per-entry error
+	// instead of failing its siblings.
+	resp := &batchResponse{Results: make([]*scanResponse, len(req.Checkers))}
+	var cks []checker.Checker
+	var live []int // request index of each compiled checker
+	for i, src := range req.Checkers {
+		ck, err := ckdsl.CompileSource(src)
+		if err != nil {
+			resp.Results[i] = &scanResponse{Error: "checker does not compile: " + err.Error()}
+			resp.CheckerErrors++
+			s.scanErrors.Add(1)
+			continue
 		}
-	} else {
-		for _, path := range req.Files {
-			i := cb.FileIndex(path)
-			if i < 0 {
-				s.scanErrors.Add(1)
-				httpError(w, http.StatusNotFound, "unknown file: "+path)
-				return
-			}
-			files = append(files, i)
-		}
+		cks = append(cks, ck)
+		live = append(live, i)
+	}
+
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	files, err := s.resolveFiles(req.Files)
+	if err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusNotFound, err.Error())
+		return
 	}
 
 	start := time.Now()
-	res := s.inc.RunFiles(files, []checker.Checker{ck}, scan.Options{
-		Workers:    req.Workers,
-		MaxReports: req.MaxReports,
-	})
+	results := s.inc.RunBatch(cks, files,
+		s.scanOptions(req.MaxReports, req.Workers, req.FuncTimeoutMS), req.Concurrency)
 	elapsed := time.Since(start)
 
-	resp := &scanResponse{
-		Checker:      ck.Name(),
-		Reports:      make([]reportJSON, 0, len(res.Reports)),
-		FilesScanned: res.FilesScanned,
-		FuncsScanned: res.FuncsScanned,
-		Truncated:    res.Truncated,
-		Cache: cacheJSON{
-			Hits:    res.CacheHits,
-			Misses:  res.CacheMisses,
-			HitRate: store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
-		},
-		ElapsedMS: float64(elapsed.Microseconds()) / 1000,
+	agg := &scan.Result{}
+	for bi, res := range results {
+		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace)
+		agg.CacheHits += res.CacheHits
+		agg.CacheMisses += res.CacheMisses
 	}
-	for _, rep := range res.Reports {
-		rj := reportJSON{
-			Checker: rep.Checker, BugType: rep.BugType, Message: rep.Message,
-			File: rep.File, Func: rep.Func, Line: rep.Pos.Line, Col: rep.Pos.Col,
-			Region: rep.RegionAt,
-		}
-		if req.IncludeTrace {
-			for _, t := range rep.Trace {
-				rj.Trace = append(rj.Trace, traceJSON{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
-			}
-		}
-		resp.Reports = append(resp.Reports, rj)
-	}
-	for _, re := range res.RuntimeErrs {
-		resp.RuntimeErrs = append(resp.RuntimeErrs, re.Error())
-	}
-	s.scans.Add(1)
-	s.reportsServed.Add(int64(len(resp.Reports)))
+	resp.CheckersRun = len(cks)
+	resp.Cache = cacheOf(agg)
+	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	s.batches.Add(1)
+	s.scans.Add(int64(len(cks)))
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// patchRequest is the POST /patch body. An empty Func replaces the whole
+// file with Source; otherwise Source must be a single function that
+// replaces Func within the file.
+type patchRequest struct {
+	Path   string `json:"path"`
+	Func   string `json:"func,omitempty"`
+	Source string `json:"source"`
+}
+
+// patchResponse reports what one mutation touched — and, critically,
+// what it did NOT: ChangedFuncs is exactly the number of functions the
+// next scan will miss on.
+type patchResponse struct {
+	Path             string  `json:"path"`
+	Mode             string  `json:"mode"` // "patch" or "replace"
+	Funcs            int     `json:"funcs"`
+	ChangedFuncs     int     `json:"changed_funcs"`
+	StaleHashes      int     `json:"stale_hashes"`
+	StoreInvalidated int     `json:"store_invalidated"`
+	Generation       int64   `json:"generation"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req patchRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if req.Path == "" || req.Source == "" {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "missing 'path' or 'source'")
+		return
+	}
+
+	// Write lock: wait for in-flight scans and batches to drain, apply
+	// the mutation, then let traffic back in against the updated corpus.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	var m *scan.Mutation
+	var err error
+	mode := "replace"
+	if req.Func != "" {
+		mode = "patch"
+		m, err = s.inc.Patch(req.Path, req.Func, req.Source)
+	} else {
+		m, err = s.inc.Replace(req.Path, req.Source)
+	}
+	if err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.patches.Add(1)
+	writeJSON(w, http.StatusOK, &patchResponse{
+		Path:             m.Path,
+		Mode:             mode,
+		Funcs:            m.Funcs,
+		ChangedFuncs:     m.Changed,
+		StaleHashes:      len(m.StaleHashes),
+		StoreInvalidated: m.StoreInvalidated,
+		Generation:       m.Generation,
+		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
+	})
 }
 
 // statsResponse is the GET /stats reply.
@@ -231,29 +479,56 @@ type statsResponse struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
 	Files         int         `json:"files"`
 	Funcs         int         `json:"funcs"`
+	Generation    int64       `json:"generation"`
 	Scans         int64       `json:"scans"`
+	Batches       int64       `json:"batches"`
+	Patches       int64       `json:"patches"`
 	ScanErrors    int64       `json:"scan_errors"`
 	ReportsServed int64       `json:"reports_served"`
+	GCRemoved     int64       `json:"gc_removed"`
 	Store         store.Stats `json:"store"`
 	StoreHitRate  float64     `json:"store_hit_rate"`
 }
 
+// handleStats, like handleHealthz, takes no request lock: every value it
+// reads is either atomic or guarded by its own short-lived lock.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.inc.Stats()
+	cb := s.inc.Codebase()
 	writeJSON(w, http.StatusOK, &statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
-		Files:         len(s.inc.Codebase().Files),
-		Funcs:         s.funcs,
+		Files:         len(cb.Files),
+		Funcs:         cb.NumFuncs(),
+		Generation:    cb.Generation(),
 		Scans:         s.scans.Load(),
+		Batches:       s.batches.Load(),
+		Patches:       s.patches.Load(),
 		ScanErrors:    s.scanErrors.Load(),
 		ReportsServed: s.reportsServed.Load(),
+		GCRemoved:     s.gcRemoved.Load(),
 		Store:         st,
 		StoreHitRate:  st.HitRate(),
 	})
 }
 
+// handleHealthz deliberately takes no locks: a liveness probe must
+// answer even while a patch is queued behind a long batch (a pending
+// writer blocks new RWMutex readers, which would make the orchestrator
+// kill a healthy warm daemon). The file count never changes and the
+// generation counter is atomic.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"ok": true, "files": len(s.inc.Codebase().Files)})
+	cb := s.inc.Codebase()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok": true, "files": len(cb.Files), "generation": cb.Generation(),
+	})
+}
+
+func allFiles(cb *scan.Codebase) []int {
+	files := make([]int, len(cb.Files))
+	for i := range files {
+		files[i] = i
+	}
+	return files
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -6,9 +6,12 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"knighter/internal/kernel"
+	"knighter/internal/minic"
 	"knighter/internal/scan"
 	"knighter/internal/store"
 )
@@ -171,5 +174,200 @@ func TestScanRejectsBadRequests(t *testing.T) {
 	}
 	if stats := getStats(t, ts); stats.ScanErrors != 4 {
 		t.Fatalf("scan_errors = %d, want 4", stats.ScanErrors)
+	}
+}
+
+const testCheckerB = `
+checker serve_npd_b {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+
+func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// TestPatchEndpointConfinesMisses is the service-level acceptance
+// criterion for corpus mutation: after POST /patch of one function, the
+// next scan misses only on the functions the patch changed.
+func TestPatchEndpointConfinesMisses(t *testing.T) {
+	srv, ts := newTestServer(t)
+	cb := srv.inc.Codebase()
+	path := cb.Files[0].Name
+
+	// Canonicalize the target file (whole-file replace), then warm.
+	var rep patchResponse
+	if code := postJSON(t, ts, "/patch", patchRequest{
+		Path: path, Source: minic.FormatFile(cb.Files[0]),
+	}, &rep); code != http.StatusOK {
+		t.Fatalf("replace status = %d", code)
+	}
+	if rep.Mode != "replace" || rep.Generation != 1 {
+		t.Fatalf("replace response = %+v", rep)
+	}
+	postScan(t, ts, scanRequest{Checker: testChecker})
+	warm := postScan(t, ts, scanRequest{Checker: testChecker})
+	if warm.Cache.Misses != 0 {
+		t.Fatalf("warm-up left %d misses", warm.Cache.Misses)
+	}
+
+	// Patch the last function of the file.
+	j := len(cb.Files[0].Funcs) - 1
+	fn := cb.Files[0].Funcs[j]
+	src := minic.FormatFunc(fn)
+	brace := strings.Index(src, "{")
+	src = src[:brace+1] + "\n\tint patched_probe;" + src[brace+1:]
+	if code := postJSON(t, ts, "/patch", patchRequest{
+		Path: path, Func: fn.Name, Source: src,
+	}, &rep); code != http.StatusOK {
+		t.Fatalf("patch status = %d", code)
+	}
+	if rep.Mode != "patch" || rep.ChangedFuncs != 1 || rep.Generation != 2 {
+		t.Fatalf("patch response = %+v", rep)
+	}
+
+	after := postScan(t, ts, scanRequest{Checker: testChecker})
+	if after.Cache.Misses != 1 {
+		t.Fatalf("post-patch scan missed %d times, want 1", after.Cache.Misses)
+	}
+	if after.Cache.Hits != warm.Cache.Hits-1 {
+		t.Fatalf("post-patch hits = %d, want %d", after.Cache.Hits, warm.Cache.Hits-1)
+	}
+
+	stats := getStats(t, ts)
+	if stats.Patches != 2 || stats.Generation != 2 {
+		t.Fatalf("stats after two mutations: %+v", stats)
+	}
+}
+
+func TestPatchEndpointRejectsBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	path := srv.inc.Codebase().Files[0].Name
+	cases := []struct {
+		name string
+		req  patchRequest
+		code int
+	}{
+		{"missing path", patchRequest{Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusBadRequest},
+		{"missing source", patchRequest{Path: path}, http.StatusBadRequest},
+		{"unknown file", patchRequest{Path: "no/such.c", Source: "int x;"}, http.StatusUnprocessableEntity},
+		{"parse error", patchRequest{Path: path, Source: "int broken("}, http.StatusUnprocessableEntity},
+		{"unknown func", patchRequest{Path: path, Func: "nope", Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := postJSON(t, ts, "/patch", tc.req, nil); code != tc.code {
+				t.Fatalf("status = %d, want %d", code, tc.code)
+			}
+		})
+	}
+}
+
+// TestBatchServedFromWarmStore is the batch acceptance criterion: after
+// one checker warms the store, a batch containing that checker serves it
+// ~100% from cache while cold checkers scan and broken ones error — all
+// in one request.
+func TestBatchServedFromWarmStore(t *testing.T) {
+	_, ts := newTestServer(t)
+	postScan(t, ts, scanRequest{Checker: testChecker}) // warm checker A
+
+	var out batchResponse
+	if code := postJSON(t, ts, "/batch", batchRequest{
+		Checkers: []string{testChecker, testCheckerB, "checker broken {"},
+	}, &out); code != http.StatusOK {
+		t.Fatalf("batch status = %d", code)
+	}
+	if out.CheckersRun != 2 || out.CheckerErrors != 1 {
+		t.Fatalf("run=%d errors=%d, want 2/1", out.CheckersRun, out.CheckerErrors)
+	}
+	a, b, bad := out.Results[0], out.Results[1], out.Results[2]
+	if a.Cache.Misses != 0 || a.Cache.Hits == 0 {
+		t.Fatalf("warm checker not cache-served: %+v", a.Cache)
+	}
+	if b.Cache.Hits != 0 || b.Cache.Misses == 0 {
+		t.Fatalf("cold checker unexpectedly warm: %+v", b.Cache)
+	}
+	if bad.Error == "" {
+		t.Fatal("broken checker entry has no error")
+	}
+	if out.Cache.Hits != a.Cache.Hits || out.Cache.Misses != b.Cache.Misses {
+		t.Fatalf("aggregate cache %+v does not sum per-checker outcomes", out.Cache)
+	}
+
+	// Per-checker batch results equal standalone scans.
+	solo := postScan(t, ts, scanRequest{Checker: testChecker})
+	ja, _ := json.Marshal(a.Reports)
+	js, _ := json.Marshal(solo.Reports)
+	if !bytes.Equal(ja, js) {
+		t.Fatal("batch entry reports differ from a standalone scan")
+	}
+
+	stats := getStats(t, ts)
+	if stats.Batches != 1 {
+		t.Fatalf("batches counter = %d, want 1", stats.Batches)
+	}
+}
+
+// TestConcurrentBatchesAndPatches hammers /batch and /patch from many
+// goroutines; under -race this is the concurrency-control acceptance
+// test (a patch must wait for in-flight scans and batches to drain).
+func TestConcurrentBatchesAndPatches(t *testing.T) {
+	srv, ts := newTestServer(t)
+	cb := srv.inc.Codebase()
+	path := cb.Files[0].Name
+	canonical := minic.FormatFile(cb.Files[0])
+
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				if g%2 == 0 {
+					var out batchResponse
+					if code := postJSON(t, ts, "/batch", batchRequest{
+						Checkers:    []string{testChecker, testCheckerB},
+						Concurrency: 2,
+					}, &out); code != http.StatusOK {
+						errs <- fmt.Sprintf("batch status %d", code)
+					}
+				} else {
+					var out patchResponse
+					if code := postJSON(t, ts, "/patch", patchRequest{
+						Path: path, Source: canonical,
+					}, &out); code != http.StatusOK {
+						errs <- fmt.Sprintf("patch status %d", code)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if stats := getStats(t, ts); stats.Patches != 6 || stats.Batches != 6 {
+		t.Fatalf("counters after hammering: %+v", stats)
 	}
 }

@@ -13,7 +13,9 @@ import (
 // defaults, so Options{} and Options{MaxPaths: 512, ...} share cache
 // entries. Checkers are deliberately excluded: the scan-service cache
 // keys them separately, so one engine configuration can be shared across
-// many checker runs.
+// many checker runs. Timeout is also excluded — it is a wall-clock
+// liveness guard, not a semantic bound, and results it truncates are
+// flagged TimedOut and never cached.
 func (o Options) Fingerprint() string {
 	d := o.withDefaults()
 	h := sha256.Sum256([]byte(fmt.Sprintf("engine:v1:%d:%d:%d:%d",
@@ -29,7 +31,7 @@ func (r *Result) Clone() *Result {
 	if r == nil {
 		return nil
 	}
-	out := &Result{Paths: r.Paths, Steps: r.Steps, Truncated: r.Truncated}
+	out := &Result{Paths: r.Paths, Steps: r.Steps, Truncated: r.Truncated, TimedOut: r.TimedOut}
 	if r.Reports != nil {
 		out.Reports = make([]*checker.Report, len(r.Reports))
 		copy(out.Reports, r.Reports)

@@ -10,6 +10,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"knighter/internal/cfg"
 	"knighter/internal/checker"
@@ -29,6 +30,12 @@ type Options struct {
 	MaxSteps int
 	// MaxTrace bounds the recorded path-trace length (default 24).
 	MaxTrace int
+	// Timeout is a wall-clock budget for analyzing one function (0 = no
+	// budget). Unlike the Max* bounds it is an operational guard, not a
+	// semantic one: a function that exceeds it gets a truncated result
+	// flagged TimedOut, which the scan-service cache refuses to store.
+	// It is deliberately excluded from Fingerprint.
+	Timeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -53,6 +60,10 @@ type Result struct {
 	Paths     int
 	Steps     int
 	Truncated bool
+	// TimedOut marks a result cut short by Options.Timeout. Timed-out
+	// results are nondeterministic (they depend on wall-clock speed) and
+	// must never be cached.
+	TimedOut bool `json:",omitempty"`
 	// RuntimeErrs records checker crashes ("the analyzer encountered
 	// problems on source files"), keyed by function.
 	RuntimeErrs []RuntimeErr
@@ -84,6 +95,7 @@ func (r *Result) Merge(other *Result) {
 	r.Paths += other.Paths
 	r.Steps += other.Steps
 	r.Truncated = r.Truncated || other.Truncated
+	r.TimedOut = r.TimedOut || other.TimedOut
 	r.RuntimeErrs = append(r.RuntimeErrs, other.RuntimeErrs...)
 }
 
@@ -120,6 +132,9 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 		decls:   map[string]minic.Type{},
 		visited: map[visitKey]bool{},
 	}
+	if opts.Timeout > 0 {
+		ex.deadline = time.Now().Add(opts.Timeout)
+	}
 	for _, s := range file.Structs {
 		ex.structs[s.Name] = s
 	}
@@ -151,6 +166,9 @@ type exec struct {
 	structs map[string]*minic.StructDecl
 	decls   map[string]minic.Type // declared types of params/locals/globals
 	visited map[visitKey]bool
+	// deadline is the wall-clock cutoff for this function's analysis
+	// (zero = unbounded).
+	deadline time.Time
 	// localDeclared tracks names declared as locals so uninitialized
 	// loads can be flagged.
 	localDeclared map[string]bool
@@ -190,6 +208,13 @@ func (ex *exec) run() {
 		ex.res.Steps++
 		if ex.res.Steps > ex.opts.MaxSteps || ex.res.Paths >= ex.opts.MaxPaths {
 			ex.res.Truncated = true
+			return
+		}
+		// The deadline check is amortized over 16 steps so unbounded-speed
+		// paths do not pay a clock read per frame.
+		if !ex.deadline.IsZero() && ex.res.Steps&15 == 1 && time.Now().After(ex.deadline) {
+			ex.res.Truncated = true
+			ex.res.TimedOut = true
 			return
 		}
 		f := stack[len(stack)-1]

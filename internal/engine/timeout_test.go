@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+	"time"
+)
+
+const timeoutSrc = `
+int work(int n)
+{
+	int acc = 0;
+	int i = 0;
+	while (i < n) {
+		if (acc > 100) {
+			acc = acc - 1;
+		} else {
+			acc = acc + 2;
+		}
+		i = i + 1;
+	}
+	return acc;
+}
+`
+
+func TestTimeoutTruncatesAndFlags(t *testing.T) {
+	f := parse(t, timeoutSrc)
+
+	full := AnalyzeFunc(f, f.Funcs[0], Options{})
+	if full.TimedOut {
+		t.Fatal("unbounded analysis flagged as timed out")
+	}
+	if full.Paths == 0 {
+		t.Fatal("unbounded analysis explored no paths")
+	}
+
+	// A 1ns budget is always exceeded by the first deadline check, so
+	// the result must come back truncated and flagged, regardless of
+	// machine speed.
+	cut := AnalyzeFunc(f, f.Funcs[0], Options{Timeout: time.Nanosecond})
+	if !cut.TimedOut || !cut.Truncated {
+		t.Fatalf("TimedOut=%v Truncated=%v, want both true", cut.TimedOut, cut.Truncated)
+	}
+	if cut.Steps >= full.Steps {
+		t.Fatalf("timed-out analysis did %d steps, full analysis %d", cut.Steps, full.Steps)
+	}
+}
+
+func TestTimeoutExcludedFromFingerprint(t *testing.T) {
+	a := Options{}.Fingerprint()
+	b := Options{Timeout: time.Second}.Fingerprint()
+	if a != b {
+		t.Fatal("Timeout changed the engine fingerprint; timed-out results are uncacheable, so the bound must not fragment the cache")
+	}
+}
+
+func TestTimeoutSurvivesMergeAndClone(t *testing.T) {
+	r := &Result{}
+	r.Merge(&Result{TimedOut: true})
+	if !r.TimedOut {
+		t.Fatal("Merge dropped TimedOut")
+	}
+	if !r.Clone().TimedOut {
+		t.Fatal("Clone dropped TimedOut")
+	}
+}

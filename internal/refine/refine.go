@@ -181,30 +181,38 @@ func (l *Loop) acceptRefinement(commit *vcs.Commit, next *ckdsl.Spec, fps []*che
 	if !v.Valid || v.RuntimeError {
 		return false
 	}
+	warns := l.stillWarns(ck, fps)
 	cleared := 0
 	for _, fp := range fps {
-		if !l.stillWarnsAt(ck, fp) {
+		if !warns[fp.File+"|"+fp.Func] {
 			cleared++
 		}
 	}
 	return cleared > 0
 }
 
-// stillWarnsAt re-analyzes the FP's file — through the result cache, so
-// the unchanged functions of the file cost nothing — and checks whether
-// the refined checker still reports in the same function.
-func (l *Loop) stillWarnsAt(ck *ckdsl.Compiled, fp *checker.Report) bool {
-	i := l.Codebase().FileIndex(fp.File)
-	if i < 0 {
-		return false
-	}
-	out := l.Inc.RunFile(i, []checker.Checker{ck}, scan.Options{Workers: 1})
-	for _, r := range out.Reports {
-		if r.Func == fp.Func {
-			return true
+// stillWarns re-analyzes every FP's file in one batched scan — through
+// the result cache, so the unchanged functions of those files cost
+// nothing — and returns the set of file|func sites where the refined
+// checker still reports.
+func (l *Loop) stillWarns(ck *ckdsl.Compiled, fps []*checker.Report) map[string]bool {
+	var files []int
+	seen := map[int]bool{}
+	for _, fp := range fps {
+		if i := l.Codebase().FileIndex(fp.File); i >= 0 && !seen[i] {
+			seen[i] = true
+			files = append(files, i)
 		}
 	}
-	return false
+	warns := map[string]bool{}
+	if len(files) == 0 {
+		return warns
+	}
+	out := l.Inc.RunFiles(files, []checker.Checker{ck}, scan.Options{Workers: 1})
+	for _, r := range out.Reports {
+		warns[r.File+"|"+r.Func] = true
+	}
+	return warns
 }
 
 // fpFunctionSources extracts the source text of the FP functions for the

@@ -1,0 +1,63 @@
+package scan
+
+import (
+	"runtime"
+	"sync"
+
+	"knighter/internal/checker"
+)
+
+// RunBatch scans the given files once per checker, scheduling the
+// checkers over a bounded worker pool that shares the backing store —
+// the StaAgent-style many-revision evaluation shape, where N checker
+// revisions of one request re-scan a mostly-warm corpus. Results are
+// returned in checker order; each is exactly what RunFiles would return
+// for that checker alone, so per-checker results are deterministic and
+// independent of pool interleaving.
+//
+// concurrency bounds the number of checkers in flight (default:
+// GOMAXPROCS, capped at the checker count). When the pool runs more
+// than one checker at once and the caller did not pin opts.Workers,
+// each inner scan's parallelism is scaled down so the batch does not
+// oversubscribe the machine by concurrency×GOMAXPROCS.
+//
+// A nil files slice scans every file.
+func (inc *Incremental) RunBatch(checkers []checker.Checker, files []int, opts Options, concurrency int) []*Result {
+	if files == nil {
+		files = make([]int, len(inc.cb.Files))
+		for i := range files {
+			files[i] = i
+		}
+	}
+	if concurrency <= 0 {
+		concurrency = runtime.GOMAXPROCS(0)
+	}
+	if concurrency > len(checkers) {
+		concurrency = len(checkers)
+	}
+	if concurrency > 1 && opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0) / concurrency
+		if opts.Workers < 1 {
+			opts.Workers = 1
+		}
+	}
+
+	results := make([]*Result, len(checkers))
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = inc.RunFiles(files, []checker.Checker{checkers[i]}, opts)
+			}
+		}()
+	}
+	for i := range checkers {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	return results
+}

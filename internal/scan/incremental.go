@@ -3,6 +3,7 @@ package scan
 import (
 	"runtime"
 	"sync"
+	"time"
 
 	"knighter/internal/checker"
 	"knighter/internal/engine"
@@ -40,6 +41,40 @@ func (inc *Incremental) Store() store.Store { return inc.st }
 // Stats snapshots the backing store's counters.
 func (inc *Incremental) Stats() store.Stats { return inc.st.Stats() }
 
+// Patch applies a single-function patch to the codebase (see
+// Codebase.Patch) and invalidates the stale store entries the mutation
+// orphaned. Entries of unchanged functions — in this file and every
+// other — stay warm.
+func (inc *Incremental) Patch(path, funcName, funcSrc string) (*Mutation, error) {
+	m, err := inc.cb.Patch(path, funcName, funcSrc)
+	if err != nil {
+		return nil, err
+	}
+	inc.invalidate(m)
+	return m, nil
+}
+
+// Replace swaps in new source for a whole file (see Codebase.Replace)
+// and invalidates the stale store entries the mutation orphaned.
+func (inc *Incremental) Replace(path, src string) (*Mutation, error) {
+	m, err := inc.cb.Replace(path, src)
+	if err != nil {
+		return nil, err
+	}
+	inc.invalidate(m)
+	return m, nil
+}
+
+func (inc *Incremental) invalidate(m *Mutation) {
+	inv, ok := inc.st.(store.Invalidator)
+	if !ok {
+		return
+	}
+	for _, h := range m.StaleHashes {
+		m.StoreInvalidated += inv.InvalidateFunc(h)
+	}
+}
+
 // Run scans every file through the cache.
 func (inc *Incremental) Run(checkers []checker.Checker, opts Options) *Result {
 	files := make([]int, len(inc.cb.Files))
@@ -71,12 +106,18 @@ type unit struct {
 // of files and the function order within each file, never on worker
 // interleaving or cache state.
 func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts Options) *Result {
+	// Hold the codebase read lock for the whole scan: a concurrent Patch
+	// or Replace waits for us to drain and we never observe a half-swapped
+	// file.
+	inc.cb.mu.RLock()
+	defer inc.cb.mu.RUnlock()
+	start := time.Now()
+
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	eo := opts.Engine
-	eo.Checkers = checkers
+	eo := opts.engineOptions(checkers)
 	ckFP, cacheable := checkersFingerprint(checkers)
 	engFP := opts.Engine.Fingerprint()
 
@@ -93,7 +134,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	if cacheable {
 		for u, un := range units {
 			keys[u] = store.Key{
-				FuncHash:  inc.cb.FuncHash(un.file, un.fn),
+				FuncHash:  inc.cb.funcHash(un.file, un.fn),
 				CheckerFP: ckFP,
 				EngineFP:  engFP,
 			}
@@ -122,7 +163,10 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 					un := units[u]
 					f := inc.cb.Files[un.file]
 					perFunc[u] = engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
-					if cacheable {
+					// A timed-out result depends on wall-clock speed, not
+					// just the key's inputs — caching it would poison
+					// later scans.
+					if cacheable && !perFunc[u].TimedOut {
 						inc.st.Put(keys[u], perFunc[u])
 					}
 				}
@@ -144,6 +188,11 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 		out.CacheHits = hits
 		out.CacheMisses = len(misses)
 	}
+	for _, u := range misses {
+		if perFunc[u].TimedOut {
+			out.FuncsTimedOut++
+		}
+	}
 	u := 0
 	for _, i := range files {
 		fileRes := &engine.Result{}
@@ -161,6 +210,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 			out.Reports = append(out.Reports, rep)
 		}
 	}
+	out.Elapsed = time.Since(start)
 	return out
 }
 

@@ -1,0 +1,142 @@
+package scan
+
+import (
+	"fmt"
+	"sort"
+
+	"knighter/internal/minic"
+)
+
+// Mutation describes one applied corpus mutation, in particular which
+// pre-mutation function hashes became unreachable — the store entries
+// addressed by them are garbage and may be invalidated.
+type Mutation struct {
+	// Path and File identify the mutated file.
+	Path string
+	File int
+	// Funcs is the file's function count after the mutation.
+	Funcs int
+	// Changed counts functions whose content hash differs from before
+	// (exactly the functions an incremental re-scan will miss on).
+	Changed int
+	// StaleHashes are the pre-mutation hashes that no longer address any
+	// function of the file. Hashes shared by unchanged functions are NOT
+	// listed: their cache entries are still live.
+	StaleHashes []string
+	// StoreInvalidated counts the store entries dropped for StaleHashes.
+	// Populated by Incremental.Patch/Replace (zero for bare Codebase
+	// mutations, which have no store).
+	StoreInvalidated int
+	// Generation is the codebase generation after this mutation.
+	Generation int64
+}
+
+// Replace swaps in new source text for the file at path, re-parses only
+// that file, and recomputes only its hashes — every other file's cache
+// entries stay warm. Content addressing keeps even the replaced file
+// partially warm: functions whose rendering, position, and file context
+// are unchanged still hit.
+//
+// Replace blocks until in-flight scans drain (they hold the codebase
+// read lock) and blocks new scans until the swap is done. The corpus's
+// ground-truth ledgers (Bugs, Baits) are not rewritten; callers that
+// mutate bug sites own the bookkeeping.
+func (cb *Codebase) Replace(path, src string) (*Mutation, error) {
+	nf, err := minic.ParseFile(path, src)
+	if err != nil {
+		return nil, fmt.Errorf("scan: replace %s: %w", path, err)
+	}
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	i := cb.fileIndex(path)
+	if i < 0 {
+		return nil, fmt.Errorf("scan: replace %s: no such file", path)
+	}
+	return cb.swapFile(i, nf, src), nil
+}
+
+// Patch replaces the named function of the file at path with funcSrc,
+// which must parse to exactly one function and nothing else (a struct
+// or global in the patch would change the file context behind every
+// sibling function's back). The file is re-rendered canonically and
+// re-parsed, so the in-memory AST — including every position a report
+// can carry — is byte-equivalent to a cold parse of the stored source.
+//
+// After a Patch, an incremental re-scan misses only on the patched
+// file's changed functions: the patched one, plus any sibling the
+// rendering shifted to a new position.
+func (cb *Codebase) Patch(path, funcName, funcSrc string) (*Mutation, error) {
+	pf, err := minic.ParseFile(path, funcSrc)
+	if err != nil {
+		return nil, fmt.Errorf("scan: patch %s.%s: %w", path, funcName, err)
+	}
+	if len(pf.Funcs) != 1 || len(pf.Structs) != 0 || len(pf.Globals) != 0 {
+		return nil, fmt.Errorf("scan: patch %s.%s: patch source must contain exactly one function and no declarations (got %d funcs, %d structs, %d globals)",
+			path, funcName, len(pf.Funcs), len(pf.Structs), len(pf.Globals))
+	}
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+	i := cb.fileIndex(path)
+	if i < 0 {
+		return nil, fmt.Errorf("scan: patch %s.%s: no such file", path, funcName)
+	}
+	old := cb.Files[i]
+	j := -1
+	for idx, fn := range old.Funcs {
+		if fn.Name == funcName {
+			j = idx
+			break
+		}
+	}
+	if j < 0 {
+		return nil, fmt.Errorf("scan: patch %s.%s: no such function", path, funcName)
+	}
+	funcs := make([]*minic.FuncDecl, len(old.Funcs))
+	copy(funcs, old.Funcs)
+	funcs[j] = pf.Funcs[0]
+	src := minic.FormatFile(&minic.File{
+		Name: old.Name, Structs: old.Structs, Globals: old.Globals, Funcs: funcs,
+	})
+	nf, err := minic.ParseFile(path, src)
+	if err != nil {
+		// The canonical printer emitted something the parser rejects —
+		// a printer bug, but surface it rather than corrupt the file.
+		return nil, fmt.Errorf("scan: patch %s.%s: re-parse of patched file: %w", path, funcName, err)
+	}
+	return cb.swapFile(i, nf, src), nil
+}
+
+// swapFile installs the new AST and source for file i and recomputes its
+// hashes. Caller holds cb.mu for writing.
+func (cb *Codebase) swapFile(i int, nf *minic.File, src string) *Mutation {
+	oldHashes := make(map[string]bool, len(cb.Files[i].Funcs))
+	for j := range cb.Files[i].Funcs {
+		oldHashes[cb.funcHash(i, j)] = true
+	}
+	cb.numFuncs.Add(int64(len(nf.Funcs) - len(cb.Files[i].Funcs)))
+	cb.Files[i] = nf
+	cb.Corpus.Files[i].Src = src
+	cb.invalidateFileHashes(i)
+
+	m := &Mutation{
+		Path:       nf.Name,
+		File:       i,
+		Funcs:      len(nf.Funcs),
+		Generation: cb.generation.Add(1),
+	}
+	newHashes := make(map[string]bool, len(nf.Funcs))
+	for j := range nf.Funcs {
+		h := cb.funcHash(i, j)
+		newHashes[h] = true
+		if !oldHashes[h] {
+			m.Changed++
+		}
+	}
+	for h := range oldHashes {
+		if !newHashes[h] {
+			m.StaleHashes = append(m.StaleHashes, h)
+		}
+	}
+	sort.Strings(m.StaleHashes)
+	return m
+}

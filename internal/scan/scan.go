@@ -3,12 +3,17 @@
 // offers two schedulers: Codebase.Run, a file-level fan-out that always
 // analyzes everything, and Incremental, a function-level scheduler that
 // consults a content-addressed result cache and only analyzes misses.
+// The codebase is mutable: Patch and Replace swap in new source for one
+// file, recompute only that file's hashes, and leave every other file's
+// cache entries warm.
 package scan
 
 import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"knighter/internal/checker"
 	"knighter/internal/engine"
@@ -17,14 +22,27 @@ import (
 	"knighter/internal/store"
 )
 
-// Codebase is a parsed corpus, reusable across many checker runs.
+// Codebase is a parsed corpus, reusable across many checker runs and
+// mutable between them (Patch, Replace).
 type Codebase struct {
+	// mu guards Files, Corpus file sources, and the generation counter.
+	// Scans hold the read lock for their whole run; mutations take the
+	// write lock, so a patch waits for in-flight scans and blocks new
+	// ones until the swap is done.
+	mu     sync.RWMutex
 	Corpus *kernel.Corpus
 	Files  []*minic.File
+	// generation counts applied mutations (0 = as parsed); numFuncs
+	// mirrors the total function count. Both atomic so liveness and
+	// stats probes can read them without queueing behind a pending
+	// mutation's write lock.
+	generation atomic.Int64
+	numFuncs   atomic.Int64
 
 	// Content hashes for the incremental scheduler, computed lazily and
-	// memoized: a function's analysis depends on its own source plus the
-	// file-level declarations it can see, so the hash covers both.
+	// memoized: a function's analysis depends on its own source, its
+	// position (reports carry absolute line/col), and the file-level
+	// declarations it can see, so the hash covers all three.
 	hashMu     sync.Mutex
 	ctxHashes  []string
 	funcHashes map[[2]int]string
@@ -39,14 +57,23 @@ func NewCodebase(c *kernel.Corpus) (*Codebase, error) {
 			return nil, fmt.Errorf("scan: parse %s: %w", f.Path, err)
 		}
 		cb.Files = append(cb.Files, pf)
+		cb.numFuncs.Add(int64(len(pf.Funcs)))
 	}
 	return cb, nil
 }
 
 // FuncHash returns the content address of function j of file i: a hash
-// of the canonical rendering of the function plus the file context
-// (file name, structs, globals) its analysis can observe.
+// of the canonical rendering of the function, its source position, and
+// the file context (file name, structs, globals) its analysis can
+// observe.
 func (cb *Codebase) FuncHash(i, j int) string {
+	cb.mu.RLock()
+	defer cb.mu.RUnlock()
+	return cb.funcHash(i, j)
+}
+
+// funcHash is FuncHash with cb.mu already held (read or write).
+func (cb *Codebase) funcHash(i, j int) string {
 	cb.hashMu.Lock()
 	defer cb.hashMu.Unlock()
 	if cb.funcHashes == nil {
@@ -64,20 +91,58 @@ func (cb *Codebase) FuncHash(i, j int) string {
 		ctx := minic.FormatFile(&minic.File{Name: f.Name, Structs: f.Structs, Globals: f.Globals})
 		cb.ctxHashes[i] = store.Hash("filectx:v1", f.Name, ctx)
 	}
-	h := store.Hash("func:v1", cb.ctxHashes[i], minic.FormatFunc(f.Funcs[j]))
+	fn := f.Funcs[j]
+	// v2: the declaration position is part of the function's identity —
+	// cached reports carry absolute line/col, so a function whose text
+	// is unchanged but which moved within its file must re-analyze.
+	h := store.Hash("func:v2", cb.ctxHashes[i],
+		fmt.Sprintf("%d:%d", fn.Pos.Line, fn.Pos.Col), minic.FormatFunc(fn))
 	cb.funcHashes[k] = h
 	return h
+}
+
+// invalidateFileHashes drops the memoized hashes of file i (after a
+// mutation swapped its AST). Caller holds cb.mu for writing.
+func (cb *Codebase) invalidateFileHashes(i int) {
+	cb.hashMu.Lock()
+	defer cb.hashMu.Unlock()
+	if cb.ctxHashes != nil {
+		cb.ctxHashes[i] = ""
+	}
+	for k := range cb.funcHashes {
+		if k[0] == i {
+			delete(cb.funcHashes, k)
+		}
+	}
 }
 
 // FileIndex returns the index of the parsed file with the given path,
 // or -1.
 func (cb *Codebase) FileIndex(path string) int {
+	cb.mu.RLock()
+	defer cb.mu.RUnlock()
+	return cb.fileIndex(path)
+}
+
+func (cb *Codebase) fileIndex(path string) int {
 	for i, f := range cb.Files {
 		if f.Name == path {
 			return i
 		}
 	}
 	return -1
+}
+
+// Generation returns the number of mutations applied to the codebase
+// since it was parsed. It never blocks, even behind a pending mutation.
+func (cb *Codebase) Generation() int64 {
+	return cb.generation.Load()
+}
+
+// NumFuncs returns the current total function count across all files.
+// Like Generation, it never blocks.
+func (cb *Codebase) NumFuncs() int {
+	return int(cb.numFuncs.Load())
 }
 
 // Options configures a scan.
@@ -87,8 +152,23 @@ type Options struct {
 	// MaxReports caps the collected reports (0 = unlimited). The paper
 	// caps refinement-phase scans at 100 warnings.
 	MaxReports int
+	// FuncTimeout is a per-function wall-clock budget (0 = none), so one
+	// pathological function cannot stall a whole scan or a kserve batch
+	// request. Functions over budget yield truncated, uncacheable
+	// results counted in Result.FuncsTimedOut.
+	FuncTimeout time.Duration
 	// Engine passes through per-function analysis options.
 	Engine engine.Options
+}
+
+// engineOptions resolves the effective engine options for a scan.
+func (o Options) engineOptions(checkers []checker.Checker) engine.Options {
+	eo := o.Engine
+	eo.Checkers = checkers
+	if o.FuncTimeout > 0 {
+		eo.Timeout = o.FuncTimeout
+	}
+	return eo
 }
 
 // Result of a corpus scan.
@@ -98,21 +178,32 @@ type Result struct {
 	FilesScanned int
 	FuncsScanned int
 	Truncated    bool
+	// FuncsTimedOut counts functions whose analysis was cut short by the
+	// per-function timeout budget (function-level scheduler only; the
+	// file-level Codebase.Run lacks per-function granularity).
+	FuncsTimedOut int
 	// CacheHits and CacheMisses count per-function cache outcomes for
 	// incremental scans (both zero for uncached Codebase.Run scans and
 	// for uncacheable checker batches).
 	CacheHits   int
 	CacheMisses int
+	// Elapsed is this scan's own wall time — for RunBatch entries, the
+	// individual checker's cost, not the whole batch's.
+	Elapsed time.Duration
 }
 
 // Run scans the whole codebase with the given checkers. Results are
 // deterministic regardless of parallelism: per-file results are merged
 // in file order.
 func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
+	cb.mu.RLock()
+	defer cb.mu.RUnlock()
+	start := time.Now()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	eo := opts.engineOptions(checkers)
 	perFile := make([]*engine.Result, len(cb.Files))
 	var wg sync.WaitGroup
 	idx := make(chan int)
@@ -121,8 +212,6 @@ func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				eo := opts.Engine
-				eo.Checkers = checkers
 				perFile[i] = engine.AnalyzeFile(cb.Files[i], eo)
 			}
 		}()
@@ -148,6 +237,7 @@ func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
 			out.Reports = append(out.Reports, rep)
 		}
 	}
+	out.Elapsed = time.Since(start)
 	return out
 }
 

@@ -5,14 +5,18 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"knighter/internal/engine"
 )
 
 // Disk is the optional on-disk tier: one JSON file per entry, named by
-// the key's content address. It survives process restarts, so a kserve
-// daemon (or a repeated eval run) starts warm. All I/O errors are
-// treated as cache misses — the disk tier is best-effort by design.
+// the key's content address and sharded into one directory per function
+// hash — so corpus mutation can invalidate a function's entries with a
+// single directory removal, and the TTL garbage collector can sweep
+// entries without reading them. It survives process restarts, so a
+// kserve daemon (or a repeated eval run) starts warm. All I/O errors
+// are treated as cache misses — the disk tier is best-effort by design.
 type Disk struct {
 	dir   string
 	mu    sync.Mutex
@@ -20,14 +24,31 @@ type Disk struct {
 }
 
 // NewDisk returns a disk store rooted at dir, creating it if needed.
+// Entries written by the pre-sharding layout (top-level <id>.json files)
+// are unreachable under the sharded scheme, so they are removed here —
+// otherwise they would sit as permanent garbage that even GC never
+// visits.
 func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
+	if legacy, err := filepath.Glob(filepath.Join(dir, "*.json")); err == nil {
+		for _, p := range legacy {
+			os.Remove(p)
+		}
+	}
 	return &Disk{dir: dir}, nil
 }
 
-func (d *Disk) path(k Key) string { return filepath.Join(d.dir, k.ID()+".json") }
+// funcDir shards entries by function hash. The hash is re-digested so
+// arbitrary FuncHash strings always yield a safe directory name.
+func (d *Disk) funcDir(funcHash string) string {
+	return filepath.Join(d.dir, Hash("fdir:v1", funcHash))
+}
+
+func (d *Disk) path(k Key) string {
+	return filepath.Join(d.funcDir(k.FuncHash), k.ID()+".json")
+}
 
 // Get implements Store.
 func (d *Disk) Get(k Key) (*engine.Result, bool) {
@@ -55,7 +76,11 @@ func (d *Disk) Put(k Key, r *engine.Result) {
 	if err != nil {
 		return
 	}
-	tmp, err := os.CreateTemp(d.dir, "put-*")
+	fdir := d.funcDir(k.FuncHash)
+	if err := os.MkdirAll(fdir, 0o755); err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(fdir, "put-*")
 	if err != nil {
 		return
 	}
@@ -72,12 +97,75 @@ func (d *Disk) Put(k Key, r *engine.Result) {
 	d.count(func(s *Stats) { s.Puts++ })
 }
 
+// InvalidateFunc implements Invalidator: one directory removal drops
+// every entry of the function, across all checker and engine
+// fingerprints.
+func (d *Disk) InvalidateFunc(funcHash string) int {
+	fdir := d.funcDir(funcHash)
+	names, _ := filepath.Glob(filepath.Join(fdir, "*.json"))
+	n := len(names)
+	if err := os.RemoveAll(fdir); err != nil {
+		return 0
+	}
+	if n > 0 {
+		d.count(func(s *Stats) { s.Invalidated += int64(n) })
+	}
+	return n
+}
+
+// GC removes entries older than maxAge (by modification time) and prunes
+// emptied shard directories. It returns the number of entries removed.
+// A non-positive maxAge is a no-op: the disk tier keeps everything.
+func (d *Disk) GC(maxAge time.Duration) (int, error) {
+	if maxAge <= 0 {
+		return 0, nil
+	}
+	cutoff := time.Now().Add(-maxAge)
+	removed := 0
+	shards, err := os.ReadDir(d.dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		fdir := filepath.Join(d.dir, shard.Name())
+		entries, err := os.ReadDir(fdir)
+		if err != nil {
+			continue
+		}
+		live := 0
+		for _, e := range entries {
+			p := filepath.Join(fdir, e.Name())
+			info, err := e.Info()
+			if err != nil {
+				continue
+			}
+			if info.ModTime().Before(cutoff) {
+				if os.Remove(p) == nil {
+					removed++
+					continue
+				}
+			}
+			live++
+		}
+		if live == 0 {
+			os.Remove(fdir) // fails harmlessly if a Put raced in
+		}
+	}
+	if removed > 0 {
+		d.count(func(s *Stats) { s.Expired += int64(removed) })
+	}
+	return removed, nil
+}
+
 // Stats implements Store. Entries counts the files currently on disk.
 func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	s := d.stats
 	d.mu.Unlock()
-	if names, err := filepath.Glob(filepath.Join(d.dir, "*.json")); err == nil {
+	if names, err := filepath.Glob(filepath.Join(d.dir, "*", "*.json")); err == nil {
 		s.Entries = len(names)
 	}
 	return s

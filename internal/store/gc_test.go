@@ -1,0 +1,160 @@
+package store
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// fkey builds a key with an explicit function hash and checker
+// fingerprint, so tests can lay out entries across both axes.
+func fkey(funcHash, ckFP string) Key {
+	return Key{FuncHash: funcHash, CheckerFP: ckFP, EngineFP: "eng"}
+}
+
+func TestMemoryInvalidateFuncDropsAllCheckersOfThatFunc(t *testing.T) {
+	m := NewMemory(16)
+	m.Put(fkey("fA", "ck1"), result("a1"))
+	m.Put(fkey("fA", "ck2"), result("a2"))
+	m.Put(fkey("fB", "ck1"), result("b1"))
+
+	if n := m.InvalidateFunc("fA"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, ok := m.Get(fkey("fA", "ck1")); ok {
+		t.Fatal("fA/ck1 survived invalidation")
+	}
+	if _, ok := m.Get(fkey("fA", "ck2")); ok {
+		t.Fatal("fA/ck2 survived invalidation")
+	}
+	if _, ok := m.Get(fkey("fB", "ck1")); !ok {
+		t.Fatal("fB/ck1 dropped by unrelated invalidation")
+	}
+	s := m.Stats()
+	if s.Invalidated != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if n := m.InvalidateFunc("no-such-hash"); n != 0 {
+		t.Fatalf("invalidating an unknown hash dropped %d entries", n)
+	}
+}
+
+func TestMemoryEvictionMaintainsFuncIndex(t *testing.T) {
+	m := NewMemory(1)
+	m.Put(fkey("fA", "ck1"), result("a"))
+	m.Put(fkey("fB", "ck1"), result("b")) // evicts fA
+	if n := m.InvalidateFunc("fA"); n != 0 {
+		t.Fatalf("evicted entry still indexed: %d", n)
+	}
+	if n := m.InvalidateFunc("fB"); n != 1 {
+		t.Fatalf("live entry not indexed: %d", n)
+	}
+}
+
+func TestDiskInvalidateFunc(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(fkey("fA", "ck1"), result("a1"))
+	d.Put(fkey("fA", "ck2"), result("a2"))
+	d.Put(fkey("fB", "ck1"), result("b1"))
+
+	if n := d.InvalidateFunc("fA"); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	if _, ok := d.Get(fkey("fA", "ck1")); ok {
+		t.Fatal("fA/ck1 survived invalidation")
+	}
+	if _, ok := d.Get(fkey("fB", "ck1")); !ok {
+		t.Fatal("fB/ck1 dropped by unrelated invalidation")
+	}
+	s := d.Stats()
+	if s.Invalidated != 2 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskGCDropsOnlyStaleEntries(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldKey, newKey := fkey("fOld", "ck"), fkey("fNew", "ck")
+	d.Put(oldKey, result("old"))
+	d.Put(newKey, result("new"))
+
+	// Backdate the old entry past the TTL.
+	stale := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(d.path(oldKey), stale, stale); err != nil {
+		t.Fatal(err)
+	}
+
+	removed, err := d.GC(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 1 {
+		t.Fatalf("GC removed %d entries, want 1", removed)
+	}
+	if _, ok := d.Get(oldKey); ok {
+		t.Fatal("stale entry survived GC")
+	}
+	if _, ok := d.Get(newKey); !ok {
+		t.Fatal("fresh entry removed by GC")
+	}
+	s := d.Stats()
+	if s.Expired != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// A non-positive TTL disables collection entirely.
+	if n, err := d.GC(0); n != 0 || err != nil {
+		t.Fatalf("GC(0) = %d, %v; want no-op", n, err)
+	}
+	if _, ok := d.Get(newKey); !ok {
+		t.Fatal("GC(0) dropped a live entry")
+	}
+}
+
+func TestNewDiskRemovesLegacyFlatEntries(t *testing.T) {
+	dir := t.TempDir()
+	legacy := filepath.Join(dir, "deadbeef.json")
+	if err := os.WriteFile(legacy, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(legacy); !os.IsNotExist(err) {
+		t.Fatal("pre-sharding flat entry survived NewDisk; it is unreachable garbage")
+	}
+	// The sharded layout is untouched by the sweep.
+	d.Put(fkey("fA", "ck"), result("a"))
+	if d2, err := NewDisk(dir); err != nil {
+		t.Fatal(err)
+	} else if _, ok := d2.Get(fkey("fA", "ck")); !ok {
+		t.Fatal("sharded entry lost across NewDisk")
+	}
+}
+
+func TestTieredInvalidateFuncForwardsToBothTiers(t *testing.T) {
+	mem := NewMemory(8)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	tiered.Put(fkey("fA", "ck"), result("a")) // write-through: both tiers
+	if n := tiered.InvalidateFunc("fA"); n != 2 {
+		t.Fatalf("tiered invalidation dropped %d entries, want 2 (one per tier)", n)
+	}
+	if _, ok := tiered.Get(fkey("fA", "ck")); ok {
+		t.Fatal("entry survived tiered invalidation")
+	}
+	if s := tiered.Stats(); s.Invalidated != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}

@@ -18,12 +18,16 @@ type Memory struct {
 	max     int
 	ll      *list.List // front = most recently used
 	entries map[string]*list.Element
-	stats   Stats
+	// byFunc indexes live entry IDs by their key's FuncHash so corpus
+	// mutation can drop a function's entries without a full sweep.
+	byFunc map[string]map[string]*list.Element
+	stats  Stats
 }
 
 type memEntry struct {
-	id  string
-	res *engine.Result
+	id       string
+	funcHash string
+	res      *engine.Result
 }
 
 // NewMemory returns an LRU store holding at most maxEntries results
@@ -32,7 +36,12 @@ func NewMemory(maxEntries int) *Memory {
 	if maxEntries <= 0 {
 		maxEntries = DefaultMemoryEntries
 	}
-	return &Memory{max: maxEntries, ll: list.New(), entries: map[string]*list.Element{}}
+	return &Memory{
+		max:     maxEntries,
+		ll:      list.New(),
+		entries: map[string]*list.Element{},
+		byFunc:  map[string]map[string]*list.Element{},
+	}
 }
 
 // Get implements Store.
@@ -64,12 +73,42 @@ func (m *Memory) Put(k Key, r *engine.Result) {
 		m.ll.MoveToFront(el)
 		return
 	}
-	m.entries[id] = m.ll.PushFront(&memEntry{id: id, res: stored})
+	el := m.ll.PushFront(&memEntry{id: id, funcHash: k.FuncHash, res: stored})
+	m.entries[id] = el
+	if m.byFunc[k.FuncHash] == nil {
+		m.byFunc[k.FuncHash] = map[string]*list.Element{}
+	}
+	m.byFunc[k.FuncHash][id] = el
 	for m.ll.Len() > m.max {
-		back := m.ll.Back()
-		m.ll.Remove(back)
-		delete(m.entries, back.Value.(*memEntry).id)
+		m.removeLocked(m.ll.Back())
 		m.stats.Evictions++
+	}
+}
+
+// InvalidateFunc implements Invalidator: it drops every entry keyed by
+// funcHash (any checker or engine fingerprint).
+func (m *Memory) InvalidateFunc(funcHash string) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := m.byFunc[funcHash]
+	n := len(ids)
+	for _, el := range ids {
+		m.removeLocked(el)
+	}
+	m.stats.Invalidated += int64(n)
+	return n
+}
+
+// removeLocked unlinks an element from the list and both indexes.
+func (m *Memory) removeLocked(el *list.Element) {
+	e := el.Value.(*memEntry)
+	m.ll.Remove(el)
+	delete(m.entries, e.id)
+	if ids := m.byFunc[e.funcHash]; ids != nil {
+		delete(ids, e.id)
+		if len(ids) == 0 {
+			delete(m.byFunc, e.funcHash)
+		}
 	}
 }
 

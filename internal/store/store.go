@@ -54,6 +54,11 @@ type Stats struct {
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+	// Invalidated counts entries dropped by InvalidateFunc (corpus
+	// mutation made their function hash unreachable).
+	Invalidated int64 `json:"invalidated"`
+	// Expired counts disk entries removed by TTL garbage collection.
+	Expired int64 `json:"expired"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -73,6 +78,8 @@ func (s Stats) Add(other Stats) Stats {
 	s.Puts += other.Puts
 	s.Evictions += other.Evictions
 	s.Entries += other.Entries
+	s.Invalidated += other.Invalidated
+	s.Expired += other.Expired
 	return s
 }
 
@@ -87,4 +94,16 @@ type Store interface {
 	Put(k Key, r *engine.Result)
 	// Stats snapshots the tier's counters.
 	Stats() Stats
+}
+
+// Invalidator is an optional Store extension for tiers that can drop
+// every entry addressed by a given function hash. Corpus mutation calls
+// it with the pre-mutation hashes of the touched functions: content
+// addressing means those keys can never be requested again, so the
+// entries are pure garbage. Invalidation is best-effort — a tier that
+// does not implement it simply lets stale entries age out.
+type Invalidator interface {
+	// InvalidateFunc removes every entry whose key's FuncHash equals
+	// funcHash, returning the number of entries dropped.
+	InvalidateFunc(funcHash string) int
 }

@@ -51,11 +51,26 @@ func (t *Tiered) Stats() Stats {
 	t.mu.Unlock()
 	front, back := t.front.Stats(), t.back.Stats()
 	s.Evictions = front.Evictions + back.Evictions
+	s.Invalidated = front.Invalidated + back.Invalidated
+	s.Expired = front.Expired + back.Expired
 	s.Entries = back.Entries
 	if s.Entries == 0 {
 		s.Entries = front.Entries
 	}
 	return s
+}
+
+// InvalidateFunc implements Invalidator by forwarding to every tier
+// that supports invalidation, returning the total entries dropped.
+func (t *Tiered) InvalidateFunc(funcHash string) int {
+	n := 0
+	if inv, ok := t.front.(Invalidator); ok {
+		n += inv.InvalidateFunc(funcHash)
+	}
+	if inv, ok := t.back.(Invalidator); ok {
+		n += inv.InvalidateFunc(funcHash)
+	}
+	return n
 }
 
 // TierStats exposes the per-tier snapshots (front, back) for
