@@ -518,6 +518,91 @@ func BenchmarkScanAfterPatch(b *testing.B) {
 	b.ReportMetric(float64(res.CacheHits), "cache-hits")
 }
 
+// changesetFixture prepares K canonicalized files with two alternating
+// variants of each file's last function, so every benchmark iteration
+// can apply a real K-file changeset.
+type changesetFixture struct {
+	inc  *scan.Incremental
+	orig []scan.Change
+	alt  []scan.Change
+}
+
+func newChangesetFixture(b *testing.B, k int) *changesetFixture {
+	b.Helper()
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: benchScale})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fx := &changesetFixture{inc: scan.NewIncremental(cb, store.NewMemory(0))}
+	for i := 0; i < k; i++ {
+		path := cb.Files[i].Name
+		if _, err := fx.inc.Replace(path, minic.FormatFile(cb.Files[i])); err != nil {
+			b.Fatal(err)
+		}
+		fn := cb.Files[i].Funcs[len(cb.Files[i].Funcs)-1]
+		orig := minic.FormatFunc(fn)
+		brace := strings.Index(orig, "{")
+		alt := orig[:brace+1] + "\n\tint bench_changeset;" + orig[brace+1:]
+		fx.orig = append(fx.orig, scan.Change{Path: path, Func: fn.Name, Source: orig})
+		fx.alt = append(fx.alt, scan.Change{Path: path, Func: fn.Name, Source: alt})
+	}
+	return fx
+}
+
+func (fx *changesetFixture) apply(b *testing.B, i int) *scan.Changeset {
+	b.Helper()
+	changes := fx.alt
+	if i%2 == 1 {
+		changes = fx.orig
+	}
+	cs, err := fx.inc.ApplyChangeset(changes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cs
+}
+
+// BenchmarkChangesetApply measures the commit-apply path alone: a 4-file
+// changeset staged, validated, swapped, and bulk-invalidated per
+// iteration — the /changeset endpoint's cost with HTTP and scanning
+// stripped away.
+func BenchmarkChangesetApply(b *testing.B) {
+	const k = 4
+	fx := newChangesetFixture(b, k)
+	ck := mustChecker(b, benchCacheDSL)
+	fx.inc.RunOne(ck, scan.Options{}) // populate the store so invalidation has work
+	b.ResetTimer()
+	var cs *scan.Changeset
+	for i := 0; i < b.N; i++ {
+		cs = fx.apply(b, i)
+	}
+	b.ReportMetric(float64(cs.Changed), "changed-funcs")
+	b.ReportMetric(float64(len(cs.StaleHashes)), "stale-hashes")
+}
+
+// BenchmarkScanAfterChangeset measures the commit-scale steady state: a
+// warm store, one 4-file changeset per iteration, then a full re-scan.
+// Misses stay confined to the four touched functions, so this should sit
+// near BenchmarkScanWarmCache (plus four analyses), far from
+// BenchmarkScanColdCache.
+func BenchmarkScanAfterChangeset(b *testing.B) {
+	const k = 4
+	fx := newChangesetFixture(b, k)
+	ck := mustChecker(b, benchCacheDSL)
+	fx.inc.RunOne(ck, scan.Options{}) // warm every entry
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		fx.apply(b, i)
+		res = fx.inc.RunOne(ck, scan.Options{})
+	}
+	if res.CacheMisses != k {
+		b.Fatalf("post-changeset scan missed %d times, want %d", res.CacheMisses, k)
+	}
+	b.ReportMetric(float64(res.CacheHits), "cache-hits")
+}
+
 // BenchmarkBatchScanWarm measures the kserve /batch steady state: four
 // checker revisions scheduled over a fully warmed shared store.
 func BenchmarkBatchScanWarm(b *testing.B) {

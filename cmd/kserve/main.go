@@ -6,9 +6,16 @@
 // synthesis and refinement issue many near-identical scans of the same
 // tree, and a warm daemon answers repeats from cache instead of
 // re-executing the analyzer. The corpus is mutable in place — POST
-// /patch applies a code update and only the touched functions go cold —
-// and POST /batch evaluates N checker revisions in one request over a
-// bounded worker pool (StaAgent-style many-revision evaluation).
+// /patch applies a single-file code update, POST /changeset applies a
+// commit-sized multi-file changeset atomically (one drain, one
+// generation bump), and only the touched functions go cold. POST /batch
+// evaluates N checker revisions in one request over a bounded worker
+// pool (StaAgent-style many-revision evaluation).
+//
+// The scan-shaped endpoints sit behind a bounded admission queue
+// (-max-inflight, -max-queued): excess load is shed with 429 +
+// Retry-After instead of being buffered without bound, so one client
+// cannot monopolize the daemon.
 //
 // Usage:
 //
@@ -16,14 +23,16 @@
 //	kserve -addr :9000 -scale 0.5
 //	kserve -cache-dir /var/cache/kserve -cache-ttl 72h
 //	kserve -func-timeout 2s        # default per-function analysis budget
+//	kserve -max-inflight 8 -max-queued 32
 //
 // Endpoints:
 //
-//	POST /scan     {"checker": "<DSL text>", "files": [...], "max_reports": n}
-//	POST /batch    {"checkers": ["<DSL>", ...], "concurrency": n, ...}
-//	POST /patch    {"path": "...", "func": "...", "source": "..."}
-//	GET  /stats    cache + service counters
-//	GET  /healthz  liveness
+//	POST /scan      {"checker": "<DSL text>", "files": [...], "max_reports": n}
+//	POST /batch     {"checkers": ["<DSL>", ...], "concurrency": n, ...}
+//	POST /patch     {"path": "...", "func": "...", "source": "..."}
+//	POST /changeset {"changes": [{"path", "func?", "source"}, ...]}
+//	GET  /stats     cache + service + admission counters
+//	GET  /healthz   liveness
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -48,10 +58,12 @@ func main() {
 	addr := flag.String("addr", ":8321", "listen address")
 	seed := flag.Int64("seed", 1, "corpus seed")
 	scale := flag.Float64("scale", 1.0, "corpus scale")
-	cacheEntries := flag.Int("cache-entries", 0, "in-memory cache capacity (0 = default)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache budget in serialized bytes (0 = default 64 MiB)")
 	cacheDir := flag.String("cache-dir", "", "optional on-disk cache tier directory")
 	cacheTTL := flag.Duration("cache-ttl", 0, "drop disk-tier entries older than this (0 = keep forever)")
 	funcTimeout := flag.Duration("func-timeout", 0, "default per-function analysis budget (0 = none)")
+	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent scan-shaped requests (0 = unlimited, no admission control)")
+	maxQueued := flag.Int("max-queued", 64, "max requests waiting for an inflight slot before shedding with 429")
 	flag.Parse()
 
 	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
@@ -60,7 +72,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kserve:", err)
 		os.Exit(1)
 	}
-	var st store.Store = store.NewMemory(*cacheEntries)
+	var st store.Store = store.NewMemory(*cacheBytes)
 	var disk *store.Disk
 	if *cacheDir != "" {
 		disk, err = store.NewDisk(*cacheDir)
@@ -72,8 +84,12 @@ func main() {
 	}
 	srv := newServer(scan.NewIncremental(cb, st))
 	srv.funcTimeout = *funcTimeout
+	srv.adm = newAdmission(*maxInflight, *maxQueued)
 	if disk != nil && *cacheTTL > 0 {
 		srv.startDiskGC(disk, *cacheTTL)
+	}
+	if srv.adm != nil {
+		log.Printf("kserve: admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
 	}
 	log.Printf("kserve: serving %d files / %d functions on %s", len(cb.Files), cb.NumFuncs(), *addr)
 	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
@@ -87,17 +103,21 @@ type server struct {
 	// funcTimeout is the default per-function analysis budget applied
 	// when a request does not set its own.
 	funcTimeout time.Duration
+	// adm gates the scan-shaped endpoints; nil = no admission control.
+	adm *admission
 
 	// mu serializes corpus mutations against scans: /scan and /batch
-	// hold the read lock, /patch the write lock — so a patch waits for
-	// in-flight requests to drain and a batch never sees a half-updated
-	// corpus between its checkers. (scan.Codebase has its own internal
-	// lock; this one widens the critical section to a whole request.)
+	// hold the read lock, /patch and /changeset the write lock — so a
+	// mutation waits for in-flight requests to drain and a batch never
+	// sees a half-updated corpus between its checkers. (scan.Codebase has
+	// its own internal lock; this one widens the critical section to a
+	// whole request.)
 	mu sync.RWMutex
 
 	scans         atomic.Int64
 	batches       atomic.Int64
 	patches       atomic.Int64
+	changesets    atomic.Int64
 	scanErrors    atomic.Int64
 	reportsServed atomic.Int64
 	gcRemoved     atomic.Int64
@@ -133,9 +153,16 @@ func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/scan", s.handleScan)
-	mux.HandleFunc("/batch", s.handleBatch)
-	mux.HandleFunc("/patch", s.handlePatch)
+	// Every endpoint that takes the request lock goes through admission
+	// control — including /patch: a pending write-lock waiter blocks all
+	// new read-lock acquisitions, so an ungated patch flood would starve
+	// every scan while itself never being shed. Only /stats and /healthz
+	// stay outside the gate: they must answer even when the daemon is
+	// saturated (that is when an operator needs them most).
+	mux.HandleFunc("/scan", s.adm.wrap(s.handleScan))
+	mux.HandleFunc("/batch", s.adm.wrap(s.handleBatch))
+	mux.HandleFunc("/changeset", s.adm.wrap(s.handleChangeset))
+	mux.HandleFunc("/patch", s.adm.wrap(s.handlePatch))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	return mux
@@ -474,6 +501,86 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// changesetRequest is the POST /changeset body: a commit-sized batch of
+// file updates applied atomically. Each change follows /patch semantics
+// (empty func = whole-file replace, set func = single-function patch),
+// but the whole set costs one in-flight-scan drain and one generation
+// bump, and a bad change rejects the entire set.
+type changesetRequest struct {
+	Changes []changeJSON `json:"changes"`
+}
+
+type changeJSON struct {
+	Path   string `json:"path"`
+	Func   string `json:"func,omitempty"`
+	Source string `json:"source"`
+}
+
+// changesetResponse reports what the changeset touched — and what it did
+// NOT: ChangedFuncs is exactly the number of cache misses the next scan
+// will pay, however many files the commit spanned.
+type changesetResponse struct {
+	Ops              int      `json:"ops"`
+	Files            []string `json:"files"`
+	ChangedFuncs     int      `json:"changed_funcs"`
+	StaleHashes      int      `json:"stale_hashes"`
+	StoreInvalidated int      `json:"store_invalidated"`
+	Generation       int64    `json:"generation"`
+	ElapsedMS        float64  `json:"elapsed_ms"`
+}
+
+func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var req changesetRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		return
+	}
+	if len(req.Changes) == 0 {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusBadRequest, "missing 'changes' (list of file updates)")
+		return
+	}
+	changes := make([]scan.Change, 0, len(req.Changes))
+	for i, c := range req.Changes {
+		if c.Path == "" || c.Source == "" {
+			s.scanErrors.Add(1)
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("change %d: missing 'path' or 'source'", i))
+			return
+		}
+		changes = append(changes, scan.Change{Path: c.Path, Func: c.Func, Source: c.Source})
+	}
+
+	// Write lock: in-flight scans and batches drain ONCE for the whole
+	// changeset, then traffic resumes against the fully updated corpus.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	cs, err := s.inc.ApplyChangeset(changes)
+	if err != nil {
+		s.scanErrors.Add(1)
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	s.changesets.Add(1)
+	resp := &changesetResponse{
+		Ops:              cs.Ops,
+		ChangedFuncs:     cs.Changed,
+		StaleHashes:      len(cs.StaleHashes),
+		StoreInvalidated: cs.StoreInvalidated,
+		Generation:       cs.Generation,
+		ElapsedMS:        float64(time.Since(start).Microseconds()) / 1000,
+	}
+	for _, fc := range cs.Files {
+		resp.Files = append(resp.Files, fc.Path)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
@@ -483,11 +590,15 @@ type statsResponse struct {
 	Scans         int64       `json:"scans"`
 	Batches       int64       `json:"batches"`
 	Patches       int64       `json:"patches"`
+	Changesets    int64       `json:"changesets"`
 	ScanErrors    int64       `json:"scan_errors"`
 	ReportsServed int64       `json:"reports_served"`
 	GCRemoved     int64       `json:"gc_removed"`
 	Store         store.Stats `json:"store"`
 	StoreHitRate  float64     `json:"store_hit_rate"`
+	// Admission is present only when the daemon runs with admission
+	// control (-max-inflight > 0).
+	Admission *admissionStats `json:"admission,omitempty"`
 }
 
 // handleStats, like handleHealthz, takes no request lock: every value it
@@ -503,11 +614,13 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Scans:         s.scans.Load(),
 		Batches:       s.batches.Load(),
 		Patches:       s.patches.Load(),
+		Changesets:    s.changesets.Load(),
 		ScanErrors:    s.scanErrors.Load(),
 		ReportsServed: s.reportsServed.Load(),
 		GCRemoved:     s.gcRemoved.Load(),
 		Store:         st,
 		StoreHitRate:  st.HitRate(),
+		Admission:     s.adm.snapshot(),
 	})
 }
 

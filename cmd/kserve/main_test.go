@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"knighter/internal/kernel"
 	"knighter/internal/minic"
@@ -28,12 +30,21 @@ checker serve_npd {
 
 func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	t.Helper()
+	return newTestServerWithAdmission(t, nil)
+}
+
+// newTestServerWithAdmission builds the server with the admission gate
+// installed BEFORE the routes are wired: routes() captures s.adm when
+// wrapping handlers, so a gate set afterwards would never see traffic.
+func newTestServerWithAdmission(t *testing.T, adm *admission) (*server, *httptest.Server) {
+	t.Helper()
 	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
 	cb, err := scan.NewCodebase(corpus)
 	if err != nil {
 		t.Fatal(err)
 	}
 	srv := newServer(scan.NewIncremental(cb, store.NewMemory(0)))
+	srv.adm = adm
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -324,6 +335,179 @@ func TestBatchServedFromWarmStore(t *testing.T) {
 	stats := getStats(t, ts)
 	if stats.Batches != 1 {
 		t.Fatalf("batches counter = %d, want 1", stats.Batches)
+	}
+}
+
+// TestChangesetEndpointConfinesMisses is the service-level tentpole
+// acceptance criterion: a K-file POST /changeset drains once, bumps the
+// generation once, and the next scan misses only on the functions the
+// changeset changed in the K touched files.
+func TestChangesetEndpointConfinesMisses(t *testing.T) {
+	srv, ts := newTestServer(t)
+	cb := srv.inc.Codebase()
+	if len(cb.Files) < 3 {
+		t.Fatalf("corpus too small: %d files", len(cb.Files))
+	}
+	files := []int{0, 1, 2}
+
+	// Canonicalize the three target files in ONE changeset, then warm.
+	var canon []changeJSON
+	for _, i := range files {
+		canon = append(canon, changeJSON{Path: cb.Files[i].Name, Source: minic.FormatFile(cb.Files[i])})
+	}
+	var rep changesetResponse
+	if code := postJSON(t, ts, "/changeset", changesetRequest{Changes: canon}, &rep); code != http.StatusOK {
+		t.Fatalf("canonicalizing changeset status = %d", code)
+	}
+	if rep.Ops != 3 || len(rep.Files) != 3 || rep.Generation != 1 {
+		t.Fatalf("changeset response = %+v, want 3 ops / 3 files / generation 1", rep)
+	}
+	postScan(t, ts, scanRequest{Checker: testChecker})
+	warm := postScan(t, ts, scanRequest{Checker: testChecker})
+	if warm.Cache.Misses != 0 {
+		t.Fatalf("warm-up left %d misses", warm.Cache.Misses)
+	}
+
+	// Patch the last function of each of the three files in one commit.
+	var changes []changeJSON
+	for _, i := range files {
+		fn := cb.Files[i].Funcs[len(cb.Files[i].Funcs)-1]
+		src := minic.FormatFunc(fn)
+		brace := strings.Index(src, "{")
+		changes = append(changes, changeJSON{
+			Path: cb.Files[i].Name, Func: fn.Name,
+			Source: src[:brace+1] + "\n\tint changeset_probe;" + src[brace+1:],
+		})
+	}
+	if code := postJSON(t, ts, "/changeset", changesetRequest{Changes: changes}, &rep); code != http.StatusOK {
+		t.Fatalf("changeset status = %d", code)
+	}
+	if rep.ChangedFuncs != 3 || rep.StaleHashes != 3 || rep.Generation != 2 {
+		t.Fatalf("changeset response = %+v, want 3 changed funcs / 3 stale hashes / generation 2", rep)
+	}
+	if rep.StoreInvalidated != 3 {
+		t.Fatalf("store invalidated %d entries, want 3", rep.StoreInvalidated)
+	}
+
+	after := postScan(t, ts, scanRequest{Checker: testChecker})
+	if after.Cache.Misses != 3 {
+		t.Fatalf("post-changeset scan missed %d times, want 3", after.Cache.Misses)
+	}
+	if after.Cache.Hits != warm.Cache.Hits-3 {
+		t.Fatalf("post-changeset hits = %d, want %d", after.Cache.Hits, warm.Cache.Hits-3)
+	}
+	stats := getStats(t, ts)
+	if stats.Changesets != 2 || stats.Generation != 2 {
+		t.Fatalf("stats after two changesets: changesets=%d generation=%d", stats.Changesets, stats.Generation)
+	}
+}
+
+func TestChangesetEndpointRejectsBadRequests(t *testing.T) {
+	srv, ts := newTestServer(t)
+	cb := srv.inc.Codebase()
+	path := cb.Files[0].Name
+	genBefore := getStats(t, ts).Generation
+	ok := changeJSON{Path: path, Source: minic.FormatFile(cb.Files[0])}
+	cases := []struct {
+		name string
+		req  changesetRequest
+		code int
+	}{
+		{"no changes", changesetRequest{}, http.StatusBadRequest},
+		{"missing path", changesetRequest{Changes: []changeJSON{{Source: "int x;"}}}, http.StatusBadRequest},
+		{"missing source", changesetRequest{Changes: []changeJSON{{Path: path}}}, http.StatusBadRequest},
+		{"unknown file poisons the set", changesetRequest{Changes: []changeJSON{ok, {Path: "no/such.c", Source: "int x;"}}}, http.StatusUnprocessableEntity},
+		{"parse error poisons the set", changesetRequest{Changes: []changeJSON{ok, {Path: path, Source: "int broken("}}}, http.StatusUnprocessableEntity},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if code := postJSON(t, ts, "/changeset", tc.req, nil); code != tc.code {
+				t.Fatalf("status = %d, want %d", code, tc.code)
+			}
+		})
+	}
+	// Atomicity is observable over the wire: no rejected set moved the
+	// generation, even the ones whose first change was valid.
+	if g := getStats(t, ts).Generation; g != genBefore {
+		t.Fatalf("rejected changesets bumped generation %d -> %d", genBefore, g)
+	}
+}
+
+// TestAdmissionShedsExcessLoad saturates a 1-inflight/1-queued gate with
+// a slow scan and verifies the contract: excess concurrent requests get
+// 429 with a Retry-After hint, admitted requests complete normally, and
+// the shed/admitted counters land in /stats.
+func TestAdmissionShedsExcessLoad(t *testing.T) {
+	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1))
+
+	release := make(chan struct{})
+	var inflight sync.WaitGroup
+	inflight.Add(1)
+	go func() {
+		defer inflight.Done()
+		// Occupy the single inflight slot directly (the gate is the unit
+		// under test; no need for a genuinely slow scan).
+		srv.adm.tokens <- struct{}{}
+		<-release
+		<-srv.adm.tokens
+	}()
+	for len(srv.adm.tokens) == 0 {
+		time.Sleep(time.Millisecond) // until the occupier holds the slot
+	}
+
+	// Fill the one queue slot with a request that will block.
+	queuedDone := make(chan *http.Response, 1)
+	go func() {
+		data, _ := json.Marshal(scanRequest{Checker: testChecker})
+		resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
+		if err != nil {
+			t.Error(err)
+			queuedDone <- nil
+			return
+		}
+		queuedDone <- resp
+	}()
+	for srv.adm.snapshot().Queued == 0 {
+		time.Sleep(time.Millisecond) // until the second request is queued
+	}
+
+	// The third concurrent request must shed.
+	data, _ := json.Marshal(scanRequest{Checker: testChecker})
+	resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("saturated request status = %d, want 429", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra == "" {
+		t.Fatal("429 without Retry-After header")
+	} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+		t.Fatalf("Retry-After = %q, want a positive integer of seconds", ra)
+	}
+
+	// Release the slot: the queued request is admitted and completes.
+	close(release)
+	inflight.Wait()
+	if qr := <-queuedDone; qr == nil {
+		t.Fatal("queued request failed outright")
+	} else {
+		defer qr.Body.Close()
+		if qr.StatusCode != http.StatusOK {
+			t.Fatalf("queued request status = %d after drain, want 200", qr.StatusCode)
+		}
+	}
+
+	stats := getStats(t, ts)
+	if stats.Admission == nil {
+		t.Fatal("admission stats missing from /stats")
+	}
+	if stats.Admission.Shed != 1 || stats.Admission.Admitted != 1 {
+		t.Fatalf("admission counters = %+v, want 1 shed / 1 admitted", stats.Admission)
+	}
+	if stats.Admission.Queued != 0 || stats.Admission.Inflight != 0 {
+		t.Fatalf("gate not drained: %+v", stats.Admission)
 	}
 }
 

@@ -1,0 +1,174 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"testing"
+
+	"knighter/internal/ckdsl"
+	"knighter/internal/minic"
+	"knighter/internal/scan"
+)
+
+// TestStressScansChangesetsAndSaturation is the concurrency-and-
+// backpressure acceptance test, meant to run under -race: many clients
+// hammer /scan, /batch, and /changeset against a tight admission gate at
+// once. It must terminate (no deadlock between the admission queue, the
+// server's request lock, and the codebase lock), every shed response
+// must carry Retry-After, and once the storm drains a quiesced scan must
+// be byte-identical to a cold scan of whatever corpus state the
+// interleaved changesets produced.
+func TestStressScansChangesetsAndSaturation(t *testing.T) {
+	srv, ts := newTestServerWithAdmission(t, newAdmission(2, 2))
+	cb := srv.inc.Codebase()
+	path := cb.Files[0].Name
+	canonical := minic.FormatFile(cb.Files[0])
+	altPath := cb.Files[1].Name
+	altCanonical := minic.FormatFile(cb.Files[1])
+
+	post := func(endpoint string, body any) (*http.Response, error) {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return nil, err
+		}
+		return http.Post(ts.URL+endpoint, "application/json", bytes.NewReader(data))
+	}
+
+	const clients = 8
+	const iters = 4
+	var wg sync.WaitGroup
+	errs := make(chan string, clients*iters)
+	var mu sync.Mutex
+	statuses := map[int]int{}
+	for g := 0; g < clients; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				var resp *http.Response
+				var err error
+				switch (g + i) % 3 {
+				case 0:
+					resp, err = post("/scan", scanRequest{Checker: testChecker})
+				case 1:
+					resp, err = post("/batch", batchRequest{
+						Checkers: []string{testChecker, testCheckerB}, Concurrency: 2,
+					})
+				case 2:
+					resp, err = post("/changeset", changesetRequest{Changes: []changeJSON{
+						{Path: path, Source: canonical},
+						{Path: altPath, Source: altCanonical},
+					}})
+				}
+				if err != nil {
+					errs <- err.Error()
+					continue
+				}
+				mu.Lock()
+				statuses[resp.StatusCode]++
+				mu.Unlock()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					// fine
+				case http.StatusTooManyRequests:
+					if ra := resp.Header.Get("Retry-After"); ra == "" {
+						errs <- "429 without Retry-After"
+					} else if secs, err := strconv.Atoi(ra); err != nil || secs < 1 {
+						errs <- fmt.Sprintf("bad Retry-After %q", ra)
+					}
+				default:
+					errs <- fmt.Sprintf("unexpected status %d", resp.StatusCode)
+				}
+				resp.Body.Close()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+
+	// The books must balance exactly: every request either completed or
+	// was shed, and the gate is fully drained.
+	stats := getStats(t, ts)
+	if stats.Admission == nil {
+		t.Fatal("admission stats missing")
+	}
+	if got := stats.Admission.Admitted + stats.Admission.Shed; got != clients*iters {
+		t.Fatalf("admitted %d + shed %d = %d, want %d",
+			stats.Admission.Admitted, stats.Admission.Shed, got, clients*iters)
+	}
+	if stats.Admission.Inflight != 0 || stats.Admission.Queued != 0 {
+		t.Fatalf("gate not drained after storm: %+v", stats.Admission)
+	}
+	if statuses[http.StatusOK] == 0 {
+		t.Fatal("no request was admitted during the storm")
+	}
+
+	// Post-drain equivalence: a quiesced request must serve exactly what
+	// a cold scan of the final corpus state produces, whatever order the
+	// changesets landed in.
+	quiesced := postScan(t, ts, scanRequest{Checker: testChecker})
+	cold, err := scan.NewCodebase(cb.Corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ck, err := ckdsl.CompileSource(testChecker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cold.RunOne(ck, scan.Options{Workers: 1})
+	if len(quiesced.Reports) != len(want.Reports) {
+		t.Fatalf("post-drain scan has %d reports, cold scan of final corpus has %d",
+			len(quiesced.Reports), len(want.Reports))
+	}
+	for i, rep := range want.Reports {
+		got := quiesced.Reports[i]
+		if got.File != rep.File || got.Func != rep.Func || got.Line != rep.Pos.Line ||
+			got.Col != rep.Pos.Col || got.Message != rep.Message {
+			t.Fatalf("post-drain report %d = %+v, cold report = %+v", i, got, rep)
+		}
+	}
+	if quiesced.FuncsScanned != want.FuncsScanned {
+		t.Fatalf("post-drain scanned %d funcs, cold scan %d", quiesced.FuncsScanned, want.FuncsScanned)
+	}
+}
+
+// TestStressHealthzDuringSaturation: liveness and stats must answer even
+// while the gate is saturated — they are deliberately outside admission
+// control.
+func TestStressHealthzDuringSaturation(t *testing.T) {
+	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1))
+	// Saturate: occupy the inflight slot and fill the queue.
+	srv.adm.tokens <- struct{}{}
+	defer func() { <-srv.adm.tokens }()
+	srv.adm.queued.Store(srv.adm.maxQueued)
+	defer srv.adm.queued.Store(0)
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz under saturation = %d", resp.StatusCode)
+	}
+	if stats := getStats(t, ts); stats.Admission.Queued != srv.adm.maxQueued {
+		t.Fatalf("stats under saturation = %+v", stats.Admission)
+	}
+	// And a scan-shaped request sheds instead of hanging.
+	data, _ := json.Marshal(scanRequest{Checker: testChecker})
+	sresp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp.Body.Close()
+	if sresp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("scan under saturation = %d, want 429", sresp.StatusCode)
+	}
+}

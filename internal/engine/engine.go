@@ -34,7 +34,9 @@ type Options struct {
 	// budget). Unlike the Max* bounds it is an operational guard, not a
 	// semantic one: a function that exceeds it gets a truncated result
 	// flagged TimedOut, which the scan-service cache refuses to store.
-	// It is deliberately excluded from Fingerprint.
+	// It is deliberately excluded from Fingerprint. The budget is
+	// enforced both between frames and — via the evaluator's amortized
+	// deadline check — in the middle of a single enormous block.
 	Timeout time.Duration
 }
 
@@ -140,6 +142,14 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 	}
 	defer func() {
 		if p := recover(); p != nil {
+			if _, ok := p.(timeoutAbort); ok {
+				// Hard cancellation: the eval-level deadline check fired
+				// mid-block. The partial result is truncated exactly like a
+				// frame-level timeout, and equally uncacheable.
+				res.Truncated = true
+				res.TimedOut = true
+				return
+			}
 			res.RuntimeErrs = append(res.RuntimeErrs, RuntimeErr{
 				Func: fn.Name, Checker: ex.activeChecker, Panic: fmt.Sprint(p),
 			})
@@ -148,6 +158,13 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 	ex.run()
 	return res
 }
+
+// timeoutAbort is the panic sentinel the evaluator throws when the
+// per-function deadline passes in the middle of a block, unwinding
+// straight out of an arbitrarily deep expression walk. It is recovered
+// in AnalyzeFunc, never escapes the package, and must not be confused
+// with a checker crash.
+type timeoutAbort struct{}
 
 type visitKey struct {
 	block int
@@ -169,6 +186,11 @@ type exec struct {
 	// deadline is the wall-clock cutoff for this function's analysis
 	// (zero = unbounded).
 	deadline time.Time
+	// evals counts expression evaluations; every evalCheckInterval of
+	// them the deadline is re-checked, so even one enormous block — which
+	// the frame-level check in run() only sees at entry — cannot outlive
+	// its budget.
+	evals int
 	// localDeclared tracks names declared as locals so uninitialized
 	// loads can be flagged.
 	localDeclared map[string]bool

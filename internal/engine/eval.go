@@ -3,6 +3,7 @@ package engine
 import (
 	"math"
 	"strings"
+	"time"
 
 	"knighter/internal/checker"
 	"knighter/internal/minic"
@@ -29,10 +30,24 @@ var unsignedBases = map[string]bool{
 
 func isUnsignedType(t minic.Type) bool { return t.Unsigned || unsignedBases[t.Base] }
 
+// evalCheckInterval amortizes the deadline check in evalExpr: one clock
+// read per this many expression evaluations. Small enough that a block
+// of straight-line code respects FuncTimeout within a few hundred
+// evaluations, large enough that the common (no-timeout-set or
+// fast-function) case pays only a counter increment.
+const evalCheckInterval = 256
+
 // evalExpr evaluates e on the current path, recording the value of every
 // visited sub-expression in pc.values (the cache assume() and checkers
-// read from).
+// read from). It is also the analysis's hard cancellation point: every
+// evalCheckInterval evaluations the per-function deadline is re-checked,
+// and an expired budget aborts mid-block via a timeoutAbort panic that
+// AnalyzeFunc converts into a truncated, uncacheable TimedOut result.
 func (ex *exec) evalExpr(pc *pathCtx, e minic.Expr) sym.Value {
+	ex.evals++
+	if ex.evals%evalCheckInterval == 0 && !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+		panic(timeoutAbort{})
+	}
 	v := ex.evalExprUncached(pc, e)
 	pc.values[e] = v
 	return v

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"strings"
 	"testing"
 	"time"
 )
@@ -42,6 +43,46 @@ func TestTimeoutTruncatesAndFlags(t *testing.T) {
 	}
 	if cut.Steps >= full.Steps {
 		t.Fatalf("timed-out analysis did %d steps, full analysis %d", cut.Steps, full.Steps)
+	}
+}
+
+// TestHardCancellationMidBlock pins the interruptible-analysis
+// guarantee: a single enormous straight-line block is ONE frame, so the
+// frame-level deadline check in run() sees it only at entry — the
+// eval-level check must abort it mid-block. Without hard cancellation
+// this function runs every statement to completion and comes back
+// without the TimedOut flag.
+func TestHardCancellationMidBlock(t *testing.T) {
+	var b strings.Builder
+	b.WriteString("int grind(int a)\n{\n\tint x = 0;\n")
+	for i := 0; i < 120000; i++ {
+		b.WriteString("\tx = x + a;\n")
+	}
+	b.WriteString("\treturn x;\n}\n")
+	f := parse(t, b.String())
+
+	// Unbounded: the whole block executes, no spurious aborts.
+	full := AnalyzeFunc(f, f.Funcs[0], Options{})
+	if full.TimedOut || full.Truncated {
+		t.Fatalf("unbounded analysis aborted: TimedOut=%v Truncated=%v", full.TimedOut, full.Truncated)
+	}
+
+	// A 2ms budget expires while the block is still executing (120k
+	// statements cannot finish that fast), long after the only
+	// frame-level check already passed.
+	start := time.Now()
+	cut := AnalyzeFunc(f, f.Funcs[0], Options{Timeout: 2 * time.Millisecond})
+	elapsed := time.Since(start)
+	if !cut.TimedOut || !cut.Truncated {
+		t.Fatalf("TimedOut=%v Truncated=%v, want both true (mid-block cancellation)", cut.TimedOut, cut.Truncated)
+	}
+	// Generous bound: the abort must land near the budget, not after the
+	// block drains (the unbounded run above takes far longer than this).
+	if elapsed > 2*time.Second {
+		t.Fatalf("cancellation took %v, budget was 2ms", elapsed)
+	}
+	if len(cut.RuntimeErrs) != 0 {
+		t.Fatalf("timeout recorded as a checker crash: %v", cut.RuntimeErrs)
 	}
 }
 

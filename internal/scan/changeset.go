@@ -1,0 +1,252 @@
+package scan
+
+import (
+	"fmt"
+	"sort"
+
+	"knighter/internal/minic"
+	"knighter/internal/store"
+)
+
+// Change is one element of a changeset: a whole-file replacement (Func
+// empty) or a single-function patch (Func names the function Source
+// replaces). Patch sources follow the same rule as Codebase.Patch: one
+// function, no struct or global declarations.
+type Change struct {
+	Path   string
+	Func   string
+	Source string
+}
+
+// FileChange reports what a changeset did to one file, with the same
+// semantics as the per-file fields of Mutation.
+type FileChange struct {
+	// Path and File identify the mutated file.
+	Path string
+	File int
+	// Funcs is the file's function count after the changeset.
+	Funcs int
+	// Changed counts functions whose content hash differs from before
+	// (exactly the functions an incremental re-scan will miss on).
+	Changed int
+	// StaleHashes are the pre-changeset hashes that no longer address any
+	// function of the file.
+	StaleHashes []string
+}
+
+// Changeset describes one atomically applied multi-file changeset: the
+// commit-sized unit of corpus mutation. However many files it touches,
+// it costs one write-lock drain and exactly one generation bump.
+type Changeset struct {
+	// Ops is the number of changes applied.
+	Ops int
+	// Files holds per-file outcomes, in first-touch order.
+	Files []*FileChange
+	// Changed totals changed functions across all touched files.
+	Changed int
+	// StaleHashes is the sorted union of every file's orphaned hashes.
+	StaleHashes []string
+	// StoreInvalidated counts the store entries dropped for StaleHashes.
+	// Populated by Incremental.ApplyChangeset (zero for bare Codebase
+	// changesets, which have no store).
+	StoreInvalidated int
+	// Generation is the codebase generation after this changeset.
+	Generation int64
+}
+
+// mutation converts a single-op changeset into the per-file Mutation
+// view that Patch and Replace return.
+func (cs *Changeset) mutation() *Mutation {
+	fc := cs.Files[0]
+	return &Mutation{
+		Path:             fc.Path,
+		File:             fc.File,
+		Funcs:            fc.Funcs,
+		Changed:          fc.Changed,
+		StaleHashes:      fc.StaleHashes,
+		StoreInvalidated: cs.StoreInvalidated,
+		Generation:       cs.Generation,
+	}
+}
+
+// opContext names one change for error messages: standalone mutations
+// keep their historical "scan: replace <path>" shape, multi-op
+// changesets gain the op index.
+func opContext(oi, n int, c Change) string {
+	verb := fmt.Sprintf("replace %s", c.Path)
+	if c.Func != "" {
+		verb = fmt.Sprintf("patch %s.%s", c.Path, c.Func)
+	}
+	if n == 1 {
+		return "scan: " + verb
+	}
+	return fmt.Sprintf("scan: changeset op %d (%s)", oi, verb)
+}
+
+// ApplyChangeset applies every change atomically: all ops are validated
+// and staged against working copies first, so a bad op — unknown file,
+// unknown function, parse error — rejects the whole changeset and leaves
+// the codebase untouched. On success every touched file swaps in at
+// once, under a single write-lock acquisition and a single generation
+// bump, and only the touched files re-parse.
+//
+// Ops apply in order against the staged state, so a patch may target a
+// function introduced by an earlier replace of the same file in the same
+// changeset. Like Patch and Replace, ApplyChangeset blocks until
+// in-flight scans drain and blocks new scans until the swap is done.
+func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("scan: empty changeset")
+	}
+	// Parse every op's source BEFORE taking the write lock: the raw
+	// parses read nothing from the codebase, and they are the expensive
+	// part of a mutation — doing them outside keeps the scan-blocking
+	// drain window to the swap itself (plus the patched files' canonical
+	// re-renders, which depend on staged state and cannot move out).
+	parsed := make([]*minic.File, len(changes))
+	for oi, c := range changes {
+		where := opContext(oi, len(changes), c)
+		pf, err := minic.ParseFile(c.Path, c.Source)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", where, err)
+		}
+		if c.Func != "" && (len(pf.Funcs) != 1 || len(pf.Structs) != 0 || len(pf.Globals) != 0) {
+			return nil, fmt.Errorf("%s: patch source must contain exactly one function and no declarations (got %d funcs, %d structs, %d globals)",
+				where, len(pf.Funcs), len(pf.Structs), len(pf.Globals))
+		}
+		parsed[oi] = pf
+	}
+
+	cb.mu.Lock()
+	defer cb.mu.Unlock()
+
+	// Stage: build each touched file's final AST and source without
+	// mutating the codebase.
+	work := map[int]*minic.File{}
+	srcs := map[int]string{}
+	var touched []int
+	stage := func(i int, nf *minic.File, src string) {
+		if _, seen := work[i]; !seen {
+			touched = append(touched, i)
+		}
+		work[i] = nf
+		srcs[i] = src
+	}
+	for oi, c := range changes {
+		where := opContext(oi, len(changes), c)
+		i := cb.fileIndex(c.Path)
+		if i < 0 {
+			return nil, fmt.Errorf("%s: no such file", where)
+		}
+		if c.Func == "" {
+			stage(i, parsed[oi], c.Source)
+			continue
+		}
+		pf := parsed[oi]
+		old := cb.Files[i]
+		if staged, ok := work[i]; ok {
+			old = staged
+		}
+		j := -1
+		for idx, fn := range old.Funcs {
+			if fn.Name == c.Func {
+				j = idx
+				break
+			}
+		}
+		if j < 0 {
+			return nil, fmt.Errorf("%s: no such function", where)
+		}
+		funcs := make([]*minic.FuncDecl, len(old.Funcs))
+		copy(funcs, old.Funcs)
+		funcs[j] = pf.Funcs[0]
+		// The file is re-rendered canonically and re-parsed, so the
+		// in-memory AST — including every position a report can carry —
+		// is byte-equivalent to a cold parse of the stored source.
+		src := minic.FormatFile(&minic.File{
+			Name: old.Name, Structs: old.Structs, Globals: old.Globals, Funcs: funcs,
+		})
+		nf, err := minic.ParseFile(c.Path, src)
+		if err != nil {
+			// The canonical printer emitted something the parser rejects —
+			// a printer bug, but surface it rather than corrupt the file.
+			return nil, fmt.Errorf("%s: re-parse of patched file: %w", where, err)
+		}
+		stage(i, nf, src)
+	}
+
+	// Commit. Pre-changeset hashes come first, while the memo still
+	// reflects the old ASTs; then every file swaps in; then one
+	// generation bump covers the whole changeset.
+	oldHashes := make(map[int]map[string]bool, len(touched))
+	for _, i := range touched {
+		hs := make(map[string]bool, len(cb.Files[i].Funcs))
+		for j := range cb.Files[i].Funcs {
+			hs[cb.funcHash(i, j)] = true
+		}
+		oldHashes[i] = hs
+	}
+	for _, i := range touched {
+		nf := work[i]
+		cb.numFuncs.Add(int64(len(nf.Funcs) - len(cb.Files[i].Funcs)))
+		cb.Files[i] = nf
+		cb.Corpus.Files[i].Src = srcs[i]
+		cb.invalidateFileHashes(i)
+	}
+	cs := &Changeset{Ops: len(changes), Generation: cb.generation.Add(1)}
+	for _, i := range touched {
+		fc := &FileChange{Path: cb.Files[i].Name, File: i, Funcs: len(cb.Files[i].Funcs)}
+		newHashes := make(map[string]bool, fc.Funcs)
+		for j := 0; j < fc.Funcs; j++ {
+			h := cb.funcHash(i, j)
+			newHashes[h] = true
+			if !oldHashes[i][h] {
+				fc.Changed++
+			}
+		}
+		for h := range oldHashes[i] {
+			if !newHashes[h] {
+				fc.StaleHashes = append(fc.StaleHashes, h)
+			}
+		}
+		sort.Strings(fc.StaleHashes)
+		cs.Files = append(cs.Files, fc)
+		cs.Changed += fc.Changed
+		cs.StaleHashes = append(cs.StaleHashes, fc.StaleHashes...)
+	}
+	sort.Strings(cs.StaleHashes)
+	return cs, nil
+}
+
+// ApplyChangeset applies a multi-file changeset to the codebase (see
+// Codebase.ApplyChangeset) and invalidates every orphaned store entry in
+// one pass over the store.
+func (inc *Incremental) ApplyChangeset(changes []Change) (*Changeset, error) {
+	cs, err := inc.cb.ApplyChangeset(changes)
+	if err != nil {
+		return nil, err
+	}
+	cs.StoreInvalidated = inc.invalidateHashes(cs.StaleHashes)
+	return cs, nil
+}
+
+// invalidateHashes drops every store entry addressed by the given
+// pre-mutation function hashes, preferring the store's bulk path (one
+// lock acquisition, one pass) over per-hash calls.
+func (inc *Incremental) invalidateHashes(hashes []string) int {
+	if len(hashes) == 0 {
+		return 0
+	}
+	if bulk, ok := inc.st.(store.BulkInvalidator); ok {
+		return bulk.InvalidateFuncs(hashes)
+	}
+	inv, ok := inc.st.(store.Invalidator)
+	if !ok {
+		return 0
+	}
+	n := 0
+	for _, h := range hashes {
+		n += inv.InvalidateFunc(h)
+	}
+	return n
+}

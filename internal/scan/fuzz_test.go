@@ -1,0 +1,166 @@
+package scan
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+	"knighter/internal/store"
+)
+
+// fuzzScale keeps each fuzz iteration's corpus small enough that one
+// run (generate + mutate + two full scans) stays well under a second.
+const fuzzScale = 0.02
+
+// fuzzCorpusTemplate is generated once; each fuzz iteration clones it
+// (sources are strings, so a fresh []*SourceFile is a full logical copy)
+// rather than paying kernel.Generate again.
+var (
+	fuzzTemplateOnce sync.Once
+	fuzzTemplate     *kernel.Corpus
+)
+
+func fuzzCorpus() *kernel.Corpus {
+	fuzzTemplateOnce.Do(func() {
+		fuzzTemplate = kernel.Generate(kernel.Config{Seed: 1, Scale: fuzzScale})
+	})
+	clone := *fuzzTemplate
+	clone.Files = make([]*kernel.SourceFile, len(fuzzTemplate.Files))
+	for i, f := range fuzzTemplate.Files {
+		cp := *f
+		clone.Files[i] = &cp
+	}
+	return &clone
+}
+
+// fuzzTweakFunc renders fn with an inert local declaration whose name is
+// derived from variant, so different variants produce different content
+// hashes while analysis results stay position-shifted but valid.
+// variant%4 == 0 returns the canonical rendering unchanged — the
+// "mutation that changes nothing" case, which must cost zero misses.
+func fuzzTweakFunc(fn *minic.FuncDecl, variant byte) (string, error) {
+	src := minic.FormatFunc(fn)
+	if variant%4 == 0 {
+		return src, nil
+	}
+	brace := strings.Index(src, "{")
+	if brace < 0 {
+		return "", fmt.Errorf("no body in rendered function %s", fn.Name)
+	}
+	return src[:brace+1] + fmt.Sprintf("\n\tint fz_%d;", variant%32) + src[brace+1:], nil
+}
+
+// fuzzReplaceSrc renders file f whole, optionally dropping its last
+// function (variant%2 == 1 and the file has more than one), exercising
+// the delete-a-function invalidation path.
+func fuzzReplaceSrc(f *minic.File, variant byte) string {
+	funcs := f.Funcs
+	if variant%2 == 1 && len(funcs) > 1 {
+		funcs = funcs[:len(funcs)-1]
+	}
+	return minic.FormatFile(&minic.File{
+		Name: f.Name, Structs: f.Structs, Globals: f.Globals, Funcs: funcs,
+	})
+}
+
+// FuzzMutationEquivalence is the property-testing harness behind every
+// corpus-mutation path: an arbitrary interleaving of Patch, Replace,
+// ApplyChangeset, and warm scans must leave the incremental scheduler
+// byte-identical to a cold scan of the final corpus. Any missed
+// invalidation, hash-memo leak, or half-applied changeset shows up as a
+// stale cache entry and fails the final comparison.
+//
+// The byte stream is interpreted as (opcode, fileSel, variant) triples;
+// every derived operation is valid by construction, so the harness
+// explores mutation interleavings rather than parser error paths (those
+// have their own tests).
+func FuzzMutationEquivalence(f *testing.F) {
+	// Seeds: a no-op, each single op kind, a scan-interleaved sequence,
+	// and a changeset-heavy sequence (deterministic corpus, so these
+	// replay identically everywhere).
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 1})
+	f.Add([]byte{1, 3, 1, 1, 4, 2})
+	f.Add([]byte{3, 0, 0, 0, 1, 5, 3, 0, 0, 2, 2, 3})
+	f.Add([]byte{2, 0, 1, 2, 5, 3, 2, 9, 0, 3, 0, 0, 2, 7, 2})
+	f.Add([]byte{0, 1, 0, 1, 1, 1, 2, 2, 6, 3, 0, 0, 0, 1, 9, 1, 2, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cb, err := NewCodebase(fuzzCorpus())
+		if err != nil {
+			t.Fatal(err)
+		}
+		inc := NewIncremental(cb, store.NewMemory(0))
+		ck := compileChecker(t)
+
+		const maxOps = 6
+		for ops := 0; len(data) >= 3 && ops < maxOps; ops++ {
+			kind, fileSel, variant := data[0]%4, data[1], data[2]
+			data = data[3:]
+			i := int(fileSel) % len(cb.Files)
+			switch kind {
+			case 0: // single-function patch
+				funcs := cb.Files[i].Funcs
+				if len(funcs) == 0 {
+					continue
+				}
+				j := int(variant) % len(funcs)
+				src, err := fuzzTweakFunc(funcs[j], variant)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if _, err := inc.Patch(cb.Files[i].Name, funcs[j].Name, src); err != nil {
+					t.Fatal(err)
+				}
+			case 1: // whole-file replace
+				if _, err := inc.Replace(cb.Files[i].Name, fuzzReplaceSrc(cb.Files[i], variant)); err != nil {
+					t.Fatal(err)
+				}
+			case 2: // multi-file changeset: replace file i, patch file i2
+				i2 := (i + 1 + int(variant)%3) % len(cb.Files)
+				changes := []Change{{Path: cb.Files[i].Name, Source: fuzzReplaceSrc(cb.Files[i], variant)}}
+				if i2 != i && len(cb.Files[i2].Funcs) > 0 {
+					funcs := cb.Files[i2].Funcs
+					j := int(variant) % len(funcs)
+					src, err := fuzzTweakFunc(funcs[j], variant+1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					changes = append(changes, Change{Path: cb.Files[i2].Name, Func: funcs[j].Name, Source: src})
+				}
+				if _, err := inc.ApplyChangeset(changes); err != nil {
+					t.Fatal(err)
+				}
+			case 3: // warm the cache mid-sequence, so later mutations must
+				// really invalidate entries rather than never populate them
+				inc.RunFiles([]int{i}, []checker.Checker{ck}, Options{Workers: 2})
+			}
+		}
+
+		// The property: however the sequence interleaved, the incremental
+		// scan of the mutated corpus — through whatever cache state the
+		// sequence left behind — is byte-identical to a cold, uncached
+		// scan of a freshly parsed copy of the same sources.
+		got := resultBytes(t, inc.RunOne(ck, Options{Workers: 1}))
+		coldCb, err := NewCodebase(cb.Corpus)
+		if err != nil {
+			t.Fatalf("final corpus does not re-parse: %v", err)
+		}
+		want := resultBytes(t, coldCb.RunOne(ck, Options{Workers: 1}))
+		if got != want {
+			t.Fatalf("incremental scan diverged from cold scan after mutation sequence:\nincremental: %s\ncold:        %s", got, want)
+		}
+		// And a second pass must be all hits, still byte-identical.
+		warm := inc.RunOne(ck, Options{Workers: 1})
+		if warm.CacheMisses != 0 {
+			t.Fatalf("fully-warm re-scan missed %d times", warm.CacheMisses)
+		}
+		if resultBytes(t, warm) != want {
+			t.Fatal("warm re-scan diverged from cold scan")
+		}
+	})
+}

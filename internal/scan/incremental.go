@@ -50,7 +50,7 @@ func (inc *Incremental) Patch(path, funcName, funcSrc string) (*Mutation, error)
 	if err != nil {
 		return nil, err
 	}
-	inc.invalidate(m)
+	m.StoreInvalidated = inc.invalidateHashes(m.StaleHashes)
 	return m, nil
 }
 
@@ -61,18 +61,8 @@ func (inc *Incremental) Replace(path, src string) (*Mutation, error) {
 	if err != nil {
 		return nil, err
 	}
-	inc.invalidate(m)
+	m.StoreInvalidated = inc.invalidateHashes(m.StaleHashes)
 	return m, nil
-}
-
-func (inc *Incremental) invalidate(m *Mutation) {
-	inv, ok := inc.st.(store.Invalidator)
-	if !ok {
-		return
-	}
-	for _, h := range m.StaleHashes {
-		m.StoreInvalidated += inv.InvalidateFunc(h)
-	}
 }
 
 // Run scans every file through the cache.

@@ -1,12 +1,5 @@
 package scan
 
-import (
-	"fmt"
-	"sort"
-
-	"knighter/internal/minic"
-)
-
 // Mutation describes one applied corpus mutation, in particular which
 // pre-mutation function hashes became unreachable — the store entries
 // addressed by them are garbage and may be invalidated.
@@ -41,18 +34,17 @@ type Mutation struct {
 // read lock) and blocks new scans until the swap is done. The corpus's
 // ground-truth ledgers (Bugs, Baits) are not rewritten; callers that
 // mutate bug sites own the bookkeeping.
+//
+// Replace is a one-op changeset: every mutation path shares
+// ApplyChangeset's stage-validate-commit machinery, so the byte-level
+// cold-scan equivalence the property harness checks holds for all of
+// them by construction.
 func (cb *Codebase) Replace(path, src string) (*Mutation, error) {
-	nf, err := minic.ParseFile(path, src)
+	cs, err := cb.ApplyChangeset([]Change{{Path: path, Source: src}})
 	if err != nil {
-		return nil, fmt.Errorf("scan: replace %s: %w", path, err)
+		return nil, err
 	}
-	cb.mu.Lock()
-	defer cb.mu.Unlock()
-	i := cb.fileIndex(path)
-	if i < 0 {
-		return nil, fmt.Errorf("scan: replace %s: no such file", path)
-	}
-	return cb.swapFile(i, nf, src), nil
+	return cs.mutation(), nil
 }
 
 // Patch replaces the named function of the file at path with funcSrc,
@@ -66,77 +58,9 @@ func (cb *Codebase) Replace(path, src string) (*Mutation, error) {
 // file's changed functions: the patched one, plus any sibling the
 // rendering shifted to a new position.
 func (cb *Codebase) Patch(path, funcName, funcSrc string) (*Mutation, error) {
-	pf, err := minic.ParseFile(path, funcSrc)
+	cs, err := cb.ApplyChangeset([]Change{{Path: path, Func: funcName, Source: funcSrc}})
 	if err != nil {
-		return nil, fmt.Errorf("scan: patch %s.%s: %w", path, funcName, err)
+		return nil, err
 	}
-	if len(pf.Funcs) != 1 || len(pf.Structs) != 0 || len(pf.Globals) != 0 {
-		return nil, fmt.Errorf("scan: patch %s.%s: patch source must contain exactly one function and no declarations (got %d funcs, %d structs, %d globals)",
-			path, funcName, len(pf.Funcs), len(pf.Structs), len(pf.Globals))
-	}
-	cb.mu.Lock()
-	defer cb.mu.Unlock()
-	i := cb.fileIndex(path)
-	if i < 0 {
-		return nil, fmt.Errorf("scan: patch %s.%s: no such file", path, funcName)
-	}
-	old := cb.Files[i]
-	j := -1
-	for idx, fn := range old.Funcs {
-		if fn.Name == funcName {
-			j = idx
-			break
-		}
-	}
-	if j < 0 {
-		return nil, fmt.Errorf("scan: patch %s.%s: no such function", path, funcName)
-	}
-	funcs := make([]*minic.FuncDecl, len(old.Funcs))
-	copy(funcs, old.Funcs)
-	funcs[j] = pf.Funcs[0]
-	src := minic.FormatFile(&minic.File{
-		Name: old.Name, Structs: old.Structs, Globals: old.Globals, Funcs: funcs,
-	})
-	nf, err := minic.ParseFile(path, src)
-	if err != nil {
-		// The canonical printer emitted something the parser rejects —
-		// a printer bug, but surface it rather than corrupt the file.
-		return nil, fmt.Errorf("scan: patch %s.%s: re-parse of patched file: %w", path, funcName, err)
-	}
-	return cb.swapFile(i, nf, src), nil
-}
-
-// swapFile installs the new AST and source for file i and recomputes its
-// hashes. Caller holds cb.mu for writing.
-func (cb *Codebase) swapFile(i int, nf *minic.File, src string) *Mutation {
-	oldHashes := make(map[string]bool, len(cb.Files[i].Funcs))
-	for j := range cb.Files[i].Funcs {
-		oldHashes[cb.funcHash(i, j)] = true
-	}
-	cb.numFuncs.Add(int64(len(nf.Funcs) - len(cb.Files[i].Funcs)))
-	cb.Files[i] = nf
-	cb.Corpus.Files[i].Src = src
-	cb.invalidateFileHashes(i)
-
-	m := &Mutation{
-		Path:       nf.Name,
-		File:       i,
-		Funcs:      len(nf.Funcs),
-		Generation: cb.generation.Add(1),
-	}
-	newHashes := make(map[string]bool, len(nf.Funcs))
-	for j := range nf.Funcs {
-		h := cb.funcHash(i, j)
-		newHashes[h] = true
-		if !oldHashes[h] {
-			m.Changed++
-		}
-	}
-	for h := range oldHashes {
-		if !newHashes[h] {
-			m.StaleHashes = append(m.StaleHashes, h)
-		}
-	}
-	sort.Strings(m.StaleHashes)
-	return m
+	return cs.mutation(), nil
 }

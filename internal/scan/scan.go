@@ -4,8 +4,9 @@
 // analyzes everything, and Incremental, a function-level scheduler that
 // consults a content-addressed result cache and only analyzes misses.
 // The codebase is mutable: Patch and Replace swap in new source for one
-// file, recompute only that file's hashes, and leave every other file's
-// cache entries warm.
+// file, and ApplyChangeset applies a commit-sized multi-file changeset
+// atomically — either way only the touched files re-parse and re-hash,
+// and every other file's cache entries stay warm.
 package scan
 
 import (
@@ -23,7 +24,7 @@ import (
 )
 
 // Codebase is a parsed corpus, reusable across many checker runs and
-// mutable between them (Patch, Replace).
+// mutable between them (Patch, Replace, ApplyChangeset).
 type Codebase struct {
 	// mu guards Files, Corpus file sources, and the generation counter.
 	// Scans hold the read lock for their whole run; mutations take the

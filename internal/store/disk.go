@@ -18,16 +18,25 @@ import (
 // kserve daemon (or a repeated eval run) starts warm. All I/O errors
 // are treated as cache misses — the disk tier is best-effort by design.
 type Disk struct {
-	dir   string
-	mu    sync.Mutex
-	stats Stats
+	dir string
+	mu  sync.Mutex
+	// entries and bytes mirror the on-disk state so Stats never walks
+	// the tree (a saturated daemon's /stats poll must not pay one
+	// os.Stat per cache entry). They are initialized by a one-time walk
+	// in NewDisk and thereafter only move by deltas — Put, Invalidate,
+	// and GC each account exactly what they added or removed, under the
+	// lock. Single-process accuracy only, like the rest of the tier.
+	entries int
+	bytes   int64
+	stats   Stats
 }
 
 // NewDisk returns a disk store rooted at dir, creating it if needed.
 // Entries written by the pre-sharding layout (top-level <id>.json files)
 // are unreachable under the sharded scheme, so they are removed here —
 // otherwise they would sit as permanent garbage that even GC never
-// visits.
+// visits. Pre-existing sharded entries are walked once to seed the
+// entry/byte counters.
 func NewDisk(dir string) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -37,7 +46,24 @@ func NewDisk(dir string) (*Disk, error) {
 			os.Remove(p)
 		}
 	}
-	return &Disk{dir: dir}, nil
+	d := &Disk{dir: dir}
+	d.entries, d.bytes = d.walk()
+	return d, nil
+}
+
+// walk counts the live entries and their total size (the startup path;
+// after that the counters move only by deltas).
+func (d *Disk) walk() (int, int64) {
+	entries, bytes := 0, int64(0)
+	if names, err := filepath.Glob(filepath.Join(d.dir, "*", "*.json")); err == nil {
+		for _, p := range names {
+			if info, err := os.Stat(p); err == nil {
+				entries++
+				bytes += info.Size()
+			}
+		}
+	}
+	return entries, bytes
 }
 
 // funcDir shards entries by function hash. The hash is re-digested so
@@ -90,11 +116,30 @@ func (d *Disk) Put(k Key, r *engine.Result) {
 		os.Remove(tmp.Name())
 		return
 	}
+	// Stat, rename, and counter update happen under one lock: the
+	// pre-rename size of any existing entry decides add-vs-replace, and
+	// letting two same-key Puts interleave between stat and rename would
+	// count one file twice, forever (a daemon without -cache-ttl never
+	// runs the GC resync). The rename is a metadata operation; holding
+	// the mutex across it is cheap.
+	d.mu.Lock()
+	oldSize := int64(-1)
+	if info, err := os.Stat(d.path(k)); err == nil {
+		oldSize = info.Size()
+	}
 	if err := os.Rename(tmp.Name(), d.path(k)); err != nil {
+		d.mu.Unlock()
 		os.Remove(tmp.Name())
 		return
 	}
-	d.count(func(s *Stats) { s.Puts++ })
+	d.stats.Puts++
+	if oldSize >= 0 {
+		d.bytes += int64(len(data)) - oldSize
+	} else {
+		d.entries++
+		d.bytes += int64(len(data))
+	}
+	d.mu.Unlock()
 }
 
 // InvalidateFunc implements Invalidator: one directory removal drops
@@ -102,13 +147,36 @@ func (d *Disk) Put(k Key, r *engine.Result) {
 // fingerprints.
 func (d *Disk) InvalidateFunc(funcHash string) int {
 	fdir := d.funcDir(funcHash)
+	// The whole list-measure-remove sequence holds the lock so a racing
+	// Put cannot slip an entry into the directory between the listing
+	// and the removal and leave the counters out of step with the disk.
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	names, _ := filepath.Glob(filepath.Join(fdir, "*.json"))
 	n := len(names)
+	removedBytes := int64(0)
+	for _, p := range names {
+		if info, err := os.Stat(p); err == nil {
+			removedBytes += info.Size()
+		}
+	}
 	if err := os.RemoveAll(fdir); err != nil {
 		return 0
 	}
 	if n > 0 {
-		d.count(func(s *Stats) { s.Invalidated += int64(n) })
+		d.stats.Invalidated += int64(n)
+		d.entries -= n
+		d.bytes -= removedBytes
+	}
+	return n
+}
+
+// InvalidateFuncs implements BulkInvalidator: one directory removal per
+// hash, no per-entry I/O beyond the listing.
+func (d *Disk) InvalidateFuncs(funcHashes []string) int {
+	n := 0
+	for _, fh := range funcHashes {
+		n += d.InvalidateFunc(fh)
 	}
 	return n
 }
@@ -122,6 +190,7 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 	}
 	cutoff := time.Now().Add(-maxAge)
 	removed := 0
+	removedBytes := int64(0)
 	shards, err := os.ReadDir(d.dir)
 	if err != nil {
 		return 0, err
@@ -145,6 +214,7 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 			if info.ModTime().Before(cutoff) {
 				if os.Remove(p) == nil {
 					removed++
+					removedBytes += info.Size()
 					continue
 				}
 			}
@@ -154,20 +224,29 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 			os.Remove(fdir) // fails harmlessly if a Put raced in
 		}
 	}
+	// Counters move by exactly what this sweep removed — a delta, like
+	// Put and InvalidateFunc apply, never a snapshot: the sweep runs
+	// without the lock, so a snapshot of "what I saw" could erase a
+	// racing Put's contribution.
 	if removed > 0 {
-		d.count(func(s *Stats) { s.Expired += int64(removed) })
+		d.mu.Lock()
+		d.stats.Expired += int64(removed)
+		d.entries -= removed
+		d.bytes -= removedBytes
+		d.mu.Unlock()
 	}
 	return removed, nil
 }
 
-// Stats implements Store. Entries counts the files currently on disk.
+// Stats implements Store. Entries and Bytes come from the maintained
+// counters — no directory walk, so polling /stats stays O(1) however
+// large the tier grows.
 func (d *Disk) Stats() Stats {
 	d.mu.Lock()
 	s := d.stats
+	s.Entries = d.entries
+	s.Bytes = d.bytes
 	d.mu.Unlock()
-	if names, err := filepath.Glob(filepath.Join(d.dir, "*", "*.json")); err == nil {
-		s.Entries = len(names)
-	}
 	return s
 }
 

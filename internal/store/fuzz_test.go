@@ -1,0 +1,90 @@
+package store
+
+import (
+	"strings"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/minic"
+)
+
+// fuzzResult builds results of varying serialized size from a variant
+// byte, so the weight accounting sees entries of different weights.
+func fuzzResult(variant byte) *engine.Result {
+	msg := strings.Repeat("x", 1+int(variant)%97)
+	return &engine.Result{
+		Reports: []*checker.Report{{
+			Checker: "fz", BugType: "T", Message: msg,
+			File: "a.c", Func: "f", Pos: minic.Pos{File: "a.c", Line: int(variant), Col: 1},
+		}},
+		Paths: int(variant), Steps: 1,
+	}
+}
+
+// FuzzMemoryWeightInvariants drives the byte-weighted LRU through
+// arbitrary put/get/invalidate/bulk-invalidate sequences and checks its
+// internal bookkeeping after every step: the byte total must equal the
+// sum of live entry weights, every index must agree on the live set, and
+// the budget must hold whenever more than one entry is cached.
+func FuzzMemoryWeightInvariants(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 0, 2, 2, 3, 1, 0})
+	f.Add([]byte{0, 1, 9, 0, 1, 9, 2, 1, 0})
+	f.Add([]byte{0, 0, 200, 0, 1, 200, 0, 2, 200, 1, 0, 0, 3, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A tight budget (room for roughly two mid-sized entries) makes
+		// eviction fire constantly.
+		m := NewMemory(2 * weigh(fuzzResult(48)))
+		check := func(op string) {
+			t.Helper()
+			var bytes int64
+			indexed := 0
+			for el := m.ll.Front(); el != nil; el = el.Next() {
+				e := el.Value.(*memEntry)
+				bytes += e.weight
+				if m.entries[e.id] != el {
+					t.Fatalf("%s: list entry %s missing from id index", op, e.id)
+				}
+				if m.byFunc[e.funcHash][e.id] != el {
+					t.Fatalf("%s: list entry %s missing from func index", op, e.id)
+				}
+			}
+			for _, ids := range m.byFunc {
+				indexed += len(ids)
+			}
+			if bytes != m.bytes {
+				t.Fatalf("%s: byte total %d != sum of live weights %d", op, m.bytes, bytes)
+			}
+			if len(m.entries) != m.ll.Len() || indexed != m.ll.Len() {
+				t.Fatalf("%s: index sizes diverge: entries=%d byFunc=%d list=%d",
+					op, len(m.entries), indexed, m.ll.Len())
+			}
+			if m.bytes > m.maxBytes && m.ll.Len() > 1 {
+				t.Fatalf("%s: over budget (%d > %d) with %d entries", op, m.bytes, m.maxBytes, m.ll.Len())
+			}
+			if s := m.Stats(); s.Bytes != bytes || s.Entries != m.ll.Len() {
+				t.Fatalf("%s: Stats()=%+v disagrees with live set (%d bytes, %d entries)",
+					op, s, bytes, m.ll.Len())
+			}
+		}
+		for len(data) >= 3 {
+			op, sel, variant := data[0]%4, data[1]%8, data[2]
+			data = data[3:]
+			k := Key{FuncHash: string([]byte{'f', sel % 4}), CheckerFP: string([]byte{'c', sel / 4}), EngineFP: "e"}
+			switch op {
+			case 0:
+				m.Put(k, fuzzResult(variant))
+				check("put")
+			case 1:
+				m.Get(k)
+				check("get")
+			case 2:
+				m.InvalidateFunc(k.FuncHash)
+				check("invalidate")
+			case 3:
+				m.InvalidateFuncs([]string{"f\x00", "f\x01", string([]byte{'f', variant % 4})})
+				check("bulk-invalidate")
+			}
+		}
+	})
+}

@@ -14,7 +14,7 @@ func fkey(funcHash, ckFP string) Key {
 }
 
 func TestMemoryInvalidateFuncDropsAllCheckersOfThatFunc(t *testing.T) {
-	m := NewMemory(16)
+	m := NewMemory(0)
 	m.Put(fkey("fA", "ck1"), result("a1"))
 	m.Put(fkey("fA", "ck2"), result("a2"))
 	m.Put(fkey("fB", "ck1"), result("b1"))
@@ -41,7 +41,7 @@ func TestMemoryInvalidateFuncDropsAllCheckersOfThatFunc(t *testing.T) {
 }
 
 func TestMemoryEvictionMaintainsFuncIndex(t *testing.T) {
-	m := NewMemory(1)
+	m := NewMemory(1) // one-byte budget: only the newest entry survives
 	m.Put(fkey("fA", "ck1"), result("a"))
 	m.Put(fkey("fB", "ck1"), result("b")) // evicts fA
 	if n := m.InvalidateFunc("fA"); n != 0 {
@@ -141,7 +141,7 @@ func TestNewDiskRemovesLegacyFlatEntries(t *testing.T) {
 }
 
 func TestTieredInvalidateFuncForwardsToBothTiers(t *testing.T) {
-	mem := NewMemory(8)
+	mem := NewMemory(0)
 	disk, err := NewDisk(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -156,5 +156,85 @@ func TestTieredInvalidateFuncForwardsToBothTiers(t *testing.T) {
 	}
 	if s := tiered.Stats(); s.Invalidated != 2 {
 		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestDiskByteAccounting(t *testing.T) {
+	dir := t.TempDir()
+	d, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(fkey("fA", "ck1"), result("a"))
+	d.Put(fkey("fA", "ck2"), result("bb"))
+	wantEntries, wantBytes := d.walk()
+	if wantEntries != 2 || wantBytes == 0 {
+		t.Fatalf("walk after two puts = %d entries / %d bytes", wantEntries, wantBytes)
+	}
+	if s := d.Stats(); s.Entries != wantEntries || s.Bytes != wantBytes {
+		t.Fatalf("incremental counters %+v disagree with walk (%d entries, %d bytes)", s, wantEntries, wantBytes)
+	}
+
+	// Overwriting an entry replaces its weight instead of adding it.
+	d.Put(fkey("fA", "ck1"), result("a-much-longer-replacement-message"))
+	wantEntries, wantBytes = d.walk()
+	if s := d.Stats(); s.Entries != wantEntries || s.Bytes != wantBytes {
+		t.Fatalf("counters after overwrite %+v disagree with walk (%d entries, %d bytes)", s, wantEntries, wantBytes)
+	}
+
+	// A fresh Disk over the same directory seeds its counters by walking.
+	d2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := d2.Stats(); s.Entries != wantEntries || s.Bytes != wantBytes {
+		t.Fatalf("restart counters %+v disagree with walk (%d entries, %d bytes)", s, wantEntries, wantBytes)
+	}
+
+	// GC decrements exactly what it removed: backdate one entry past the
+	// TTL, sweep, and both counters drop by that entry's size.
+	stale := time.Now().Add(-2 * time.Hour)
+	stalePath := d2.path(fkey("fA", "ck2"))
+	staleInfo, err := os.Stat(stalePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chtimes(stalePath, stale, stale); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d2.GC(time.Hour); err != nil {
+		t.Fatal(err)
+	}
+	if s := d2.Stats(); s.Entries != wantEntries-1 || s.Bytes != wantBytes-staleInfo.Size() {
+		t.Fatalf("counters after GC = %+v, want %d entries / %d bytes",
+			s, wantEntries-1, wantBytes-staleInfo.Size())
+	}
+
+	// Invalidation returns the removed entries' bytes (d's counters
+	// never saw d2's GC, so drive it on d2).
+	d2.InvalidateFunc("fA")
+	if s := d2.Stats(); s.Entries != 0 || s.Bytes != 0 {
+		t.Fatalf("counters after invalidating everything = %+v, want zero", s)
+	}
+}
+
+func TestTieredBulkInvalidateForwardsToBothTiers(t *testing.T) {
+	mem := NewMemory(0)
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	tiered.Put(fkey("fA", "ck"), result("a"))
+	tiered.Put(fkey("fB", "ck"), result("b"))
+	tiered.Put(fkey("fC", "ck"), result("c"))
+	if n := tiered.InvalidateFuncs([]string{"fA", "fB"}); n != 4 {
+		t.Fatalf("bulk tiered invalidation dropped %d entries, want 4 (two hashes x two tiers)", n)
+	}
+	if _, ok := tiered.Get(fkey("fA", "ck")); ok {
+		t.Fatal("entry survived bulk tiered invalidation")
+	}
+	if _, ok := tiered.Get(fkey("fC", "ck")); !ok {
+		t.Fatal("unrelated entry dropped")
 	}
 }

@@ -2,22 +2,28 @@ package store
 
 import (
 	"container/list"
+	"encoding/json"
 	"sync"
 
 	"knighter/internal/engine"
 )
 
-// DefaultMemoryEntries bounds the in-memory tier when the caller passes
-// a non-positive capacity. Sized for a full-scale corpus (a few thousand
-// functions) times a handful of live checker fingerprints.
-const DefaultMemoryEntries = 1 << 14
+// DefaultMemoryBytes bounds the in-memory tier when the caller passes a
+// non-positive capacity: 64 MiB of serialized results, room for a
+// full-scale corpus (a few thousand functions) times a handful of live
+// checker fingerprints even when reports are verbose.
+const DefaultMemoryBytes = 64 << 20
 
-// Memory is the in-memory LRU tier.
+// Memory is the in-memory LRU tier, bounded by the total serialized size
+// of its entries rather than their count — a pathological checker that
+// caches huge report lists displaces proportionally more small entries,
+// instead of hiding behind a per-entry quota.
 type Memory struct {
-	mu      sync.Mutex
-	max     int
-	ll      *list.List // front = most recently used
-	entries map[string]*list.Element
+	mu       sync.Mutex
+	maxBytes int64
+	bytes    int64
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
 	// byFunc indexes live entry IDs by their key's FuncHash so corpus
 	// mutation can drop a function's entries without a full sweep.
 	byFunc map[string]map[string]*list.Element
@@ -27,20 +33,33 @@ type Memory struct {
 type memEntry struct {
 	id       string
 	funcHash string
+	weight   int64
 	res      *engine.Result
 }
 
-// NewMemory returns an LRU store holding at most maxEntries results
-// (DefaultMemoryEntries when maxEntries <= 0).
-func NewMemory(maxEntries int) *Memory {
-	if maxEntries <= 0 {
-		maxEntries = DefaultMemoryEntries
+// weigh returns r's serialized size — the entry's eviction weight, and
+// the same bytes a disk-tier entry would occupy. A result that fails to
+// marshal (impossible for engine.Result in practice) gets a conservative
+// flat weight rather than a free ride.
+func weigh(r *engine.Result) int64 {
+	data, err := json.Marshal(r)
+	if err != nil {
+		return 1 << 10
+	}
+	return int64(len(data))
+}
+
+// NewMemory returns an LRU store holding at most maxBytes of serialized
+// results (DefaultMemoryBytes when maxBytes <= 0).
+func NewMemory(maxBytes int64) *Memory {
+	if maxBytes <= 0 {
+		maxBytes = DefaultMemoryBytes
 	}
 	return &Memory{
-		max:     maxEntries,
-		ll:      list.New(),
-		entries: map[string]*list.Element{},
-		byFunc:  map[string]map[string]*list.Element{},
+		maxBytes: maxBytes,
+		ll:       list.New(),
+		entries:  map[string]*list.Element{},
+		byFunc:   map[string]map[string]*list.Element{},
 	}
 }
 
@@ -65,21 +84,35 @@ func (m *Memory) Put(k Key, r *engine.Result) {
 	}
 	id := k.ID()
 	stored := r.Clone()
+	w := weigh(stored)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.stats.Puts++
 	if el, ok := m.entries[id]; ok {
-		el.Value.(*memEntry).res = stored
+		e := el.Value.(*memEntry)
+		m.bytes += w - e.weight
+		e.res, e.weight = stored, w
 		m.ll.MoveToFront(el)
+		m.evictLocked()
 		return
 	}
-	el := m.ll.PushFront(&memEntry{id: id, funcHash: k.FuncHash, res: stored})
+	el := m.ll.PushFront(&memEntry{id: id, funcHash: k.FuncHash, weight: w, res: stored})
 	m.entries[id] = el
 	if m.byFunc[k.FuncHash] == nil {
 		m.byFunc[k.FuncHash] = map[string]*list.Element{}
 	}
 	m.byFunc[k.FuncHash][id] = el
-	for m.ll.Len() > m.max {
+	m.bytes += w
+	m.evictLocked()
+}
+
+// evictLocked drops least-recently-used entries until the tier is back
+// under its byte budget. The most recent entry is always kept, even when
+// it alone exceeds the budget: refusing oversized entries would disable
+// caching for exactly the functions that are most expensive to
+// recompute.
+func (m *Memory) evictLocked() {
+	for m.bytes > m.maxBytes && m.ll.Len() > 1 {
 		m.removeLocked(m.ll.Back())
 		m.stats.Evictions++
 	}
@@ -88,22 +121,33 @@ func (m *Memory) Put(k Key, r *engine.Result) {
 // InvalidateFunc implements Invalidator: it drops every entry keyed by
 // funcHash (any checker or engine fingerprint).
 func (m *Memory) InvalidateFunc(funcHash string) int {
+	return m.InvalidateFuncs([]string{funcHash})
+}
+
+// InvalidateFuncs implements BulkInvalidator: one lock acquisition drops
+// the entries of every given hash (a changeset's whole orphan set).
+func (m *Memory) InvalidateFuncs(funcHashes []string) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ids := m.byFunc[funcHash]
-	n := len(ids)
-	for _, el := range ids {
-		m.removeLocked(el)
+	n := 0
+	for _, fh := range funcHashes {
+		ids := m.byFunc[fh]
+		n += len(ids)
+		for _, el := range ids {
+			m.removeLocked(el)
+		}
 	}
 	m.stats.Invalidated += int64(n)
 	return n
 }
 
-// removeLocked unlinks an element from the list and both indexes.
+// removeLocked unlinks an element from the list, both indexes, and the
+// byte accounting.
 func (m *Memory) removeLocked(el *list.Element) {
 	e := el.Value.(*memEntry)
 	m.ll.Remove(el)
 	delete(m.entries, e.id)
+	m.bytes -= e.weight
 	if ids := m.byFunc[e.funcHash]; ids != nil {
 		delete(ids, e.id)
 		if len(ids) == 0 {
@@ -118,5 +162,6 @@ func (m *Memory) Stats() Stats {
 	defer m.mu.Unlock()
 	s := m.stats
 	s.Entries = m.ll.Len()
+	s.Bytes = m.bytes
 	return s
 }

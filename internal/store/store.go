@@ -54,6 +54,9 @@ type Stats struct {
 	Puts      int64 `json:"puts"`
 	Evictions int64 `json:"evictions"`
 	Entries   int   `json:"entries"`
+	// Bytes is the serialized size of the tier's live entries — the
+	// weight the memory tier bounds itself by.
+	Bytes int64 `json:"bytes"`
 	// Invalidated counts entries dropped by InvalidateFunc (corpus
 	// mutation made their function hash unreachable).
 	Invalidated int64 `json:"invalidated"`
@@ -78,6 +81,7 @@ func (s Stats) Add(other Stats) Stats {
 	s.Puts += other.Puts
 	s.Evictions += other.Evictions
 	s.Entries += other.Entries
+	s.Bytes += other.Bytes
 	s.Invalidated += other.Invalidated
 	s.Expired += other.Expired
 	return s
@@ -106,4 +110,15 @@ type Invalidator interface {
 	// InvalidateFunc removes every entry whose key's FuncHash equals
 	// funcHash, returning the number of entries dropped.
 	InvalidateFunc(funcHash string) int
+}
+
+// BulkInvalidator is an optional Store extension for tiers that can drop
+// the entries of many function hashes in one pass. A commit-sized
+// changeset orphans hashes across several files at once; the bulk path
+// lets a tier take its lock once (or batch its I/O) instead of paying
+// per-hash overhead N times.
+type BulkInvalidator interface {
+	// InvalidateFuncs removes every entry addressed by any of the given
+	// function hashes, returning the total number of entries dropped.
+	InvalidateFuncs(funcHashes []string) int
 }

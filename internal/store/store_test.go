@@ -48,7 +48,7 @@ func TestKeyIDVariesPerComponent(t *testing.T) {
 }
 
 func TestMemoryRoundTrip(t *testing.T) {
-	m := NewMemory(8)
+	m := NewMemory(0)
 	if _, ok := m.Get(key(1)); ok {
 		t.Fatal("empty store hit")
 	}
@@ -69,7 +69,7 @@ func TestMemoryRoundTrip(t *testing.T) {
 }
 
 func TestMemoryGetReturnsIndependentClone(t *testing.T) {
-	m := NewMemory(8)
+	m := NewMemory(0)
 	m.Put(key(1), result("one"))
 	got, _ := m.Get(key(1))
 	got.Reports = got.Reports[:0] // caller truncates its copy
@@ -80,8 +80,12 @@ func TestMemoryGetReturnsIndependentClone(t *testing.T) {
 	}
 }
 
-func TestMemoryLRUEviction(t *testing.T) {
-	m := NewMemory(2)
+func TestMemoryLRUEvictionByWeight(t *testing.T) {
+	// All three results serialize to the same size; budget two of them
+	// (plus slack smaller than a third), so the third Put must evict the
+	// least recently used entry.
+	w := weigh(result("1"))
+	m := NewMemory(2*w + w/2)
 	m.Put(key(1), result("1"))
 	m.Put(key(2), result("2"))
 	m.Get(key(1)) // 1 is now most recently used
@@ -95,7 +99,62 @@ func TestMemoryLRUEviction(t *testing.T) {
 	if _, ok := m.Get(key(3)); !ok {
 		t.Fatal("new entry 3 missing")
 	}
-	if s := m.Stats(); s.Evictions != 1 || s.Entries != 2 {
+	if s := m.Stats(); s.Evictions != 1 || s.Entries != 2 || s.Bytes != 2*w {
+		t.Fatalf("stats = %+v, want 2 entries weighing %d", s, 2*w)
+	}
+}
+
+func TestMemoryWeightAccounting(t *testing.T) {
+	m := NewMemory(0)
+	w1 := weigh(result("one"))
+	m.Put(key(1), result("one"))
+	if s := m.Stats(); s.Bytes != w1 {
+		t.Fatalf("bytes after one put = %d, want %d", s.Bytes, w1)
+	}
+	// Overwriting an entry replaces its weight, not adds to it.
+	w2 := weigh(result("a-rather-longer-message"))
+	m.Put(key(1), result("a-rather-longer-message"))
+	if s := m.Stats(); s.Bytes != w2 || s.Entries != 1 {
+		t.Fatalf("bytes after overwrite = %+v, want %d in 1 entry", s, w2)
+	}
+	// Invalidation returns the weight to the budget.
+	m.InvalidateFunc(key(1).FuncHash)
+	if s := m.Stats(); s.Bytes != 0 || s.Entries != 0 {
+		t.Fatalf("bytes after invalidation = %+v, want empty", s)
+	}
+}
+
+func TestMemoryKeepsOversizedNewestEntry(t *testing.T) {
+	// An entry bigger than the whole budget still caches (evicting
+	// everything else): refusing it would disable caching for exactly the
+	// most expensive functions.
+	m := NewMemory(1)
+	m.Put(key(1), result("huge"))
+	if _, ok := m.Get(key(1)); !ok {
+		t.Fatal("oversized entry rejected outright")
+	}
+	m.Put(key(2), result("also-huge"))
+	if _, ok := m.Get(key(1)); ok {
+		t.Fatal("over-budget tier kept two entries")
+	}
+	if _, ok := m.Get(key(2)); !ok {
+		t.Fatal("newest entry evicted")
+	}
+}
+
+func TestMemoryBulkInvalidateOnePass(t *testing.T) {
+	m := NewMemory(0)
+	m.Put(Key{FuncHash: "fA", CheckerFP: "c1", EngineFP: "e"}, result("a1"))
+	m.Put(Key{FuncHash: "fA", CheckerFP: "c2", EngineFP: "e"}, result("a2"))
+	m.Put(Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}, result("b"))
+	m.Put(Key{FuncHash: "fC", CheckerFP: "c1", EngineFP: "e"}, result("c"))
+	if n := m.InvalidateFuncs([]string{"fA", "fC", "no-such-hash"}); n != 3 {
+		t.Fatalf("bulk invalidation dropped %d entries, want 3", n)
+	}
+	if _, ok := m.Get(Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}); !ok {
+		t.Fatal("unrelated entry dropped by bulk invalidation")
+	}
+	if s := m.Stats(); s.Invalidated != 3 || s.Entries != 1 {
 		t.Fatalf("stats = %+v", s)
 	}
 }
@@ -122,7 +181,7 @@ func TestDiskRoundTripByteIdentical(t *testing.T) {
 }
 
 func TestTieredPromotesDiskHits(t *testing.T) {
-	mem := NewMemory(8)
+	mem := NewMemory(0)
 	disk, err := NewDisk(t.TempDir())
 	if err != nil {
 		t.Fatal(err)
@@ -160,8 +219,8 @@ func TestStatsHitRate(t *testing.T) {
 	if r := s.HitRate(); r != 0.9 {
 		t.Fatalf("hit rate = %v", r)
 	}
-	sum := s.Add(Stats{Hits: 1, Misses: 9, Puts: 2, Entries: 3})
-	if sum.Hits != 10 || sum.Misses != 10 || sum.Puts != 2 || sum.Entries != 3 {
+	sum := s.Add(Stats{Hits: 1, Misses: 9, Puts: 2, Entries: 3, Bytes: 7})
+	if sum.Hits != 10 || sum.Misses != 10 || sum.Puts != 2 || sum.Entries != 3 || sum.Bytes != 7 {
 		t.Fatalf("Add = %+v", sum)
 	}
 }

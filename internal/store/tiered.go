@@ -44,7 +44,10 @@ func (t *Tiered) Put(k Key, r *engine.Result) {
 }
 
 // Stats implements Store: the composite's own hit/miss/put counters,
-// with entries and evictions aggregated from the tiers.
+// with entries and evictions aggregated from the tiers. Entries and
+// Bytes both report the back tier alone: Puts write through and Gets
+// promote, so the back tier is a superset of the front and summing the
+// tiers would double-count every promoted entry.
 func (t *Tiered) Stats() Stats {
 	t.mu.Lock()
 	s := t.stats
@@ -54,8 +57,10 @@ func (t *Tiered) Stats() Stats {
 	s.Invalidated = front.Invalidated + back.Invalidated
 	s.Expired = front.Expired + back.Expired
 	s.Entries = back.Entries
+	s.Bytes = back.Bytes
 	if s.Entries == 0 {
 		s.Entries = front.Entries
+		s.Bytes = front.Bytes
 	}
 	return s
 }
@@ -63,12 +68,24 @@ func (t *Tiered) Stats() Stats {
 // InvalidateFunc implements Invalidator by forwarding to every tier
 // that supports invalidation, returning the total entries dropped.
 func (t *Tiered) InvalidateFunc(funcHash string) int {
+	return t.InvalidateFuncs([]string{funcHash})
+}
+
+// InvalidateFuncs implements BulkInvalidator: each tier gets the whole
+// hash set in one call (falling back to per-hash invalidation for tiers
+// without a bulk path), so a changeset's orphan set costs one pass per
+// tier.
+func (t *Tiered) InvalidateFuncs(funcHashes []string) int {
 	n := 0
-	if inv, ok := t.front.(Invalidator); ok {
-		n += inv.InvalidateFunc(funcHash)
-	}
-	if inv, ok := t.back.(Invalidator); ok {
-		n += inv.InvalidateFunc(funcHash)
+	for _, tier := range []Store{t.front, t.back} {
+		switch inv := tier.(type) {
+		case BulkInvalidator:
+			n += inv.InvalidateFuncs(funcHashes)
+		case Invalidator:
+			for _, fh := range funcHashes {
+				n += inv.InvalidateFunc(fh)
+			}
+		}
 	}
 	return n
 }
