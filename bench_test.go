@@ -10,6 +10,7 @@
 package knighter
 
 import (
+	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
@@ -440,6 +441,42 @@ func BenchmarkScanWarmCache(b *testing.B) {
 		b.Fatalf("warm scan missed %d times", res.CacheMisses)
 	}
 	b.ReportMetric(float64(res.CacheHits), "cache-hits")
+}
+
+// BenchmarkScanWarmRemote measures the fleet steady state: a fresh
+// replica (empty memory tier) whose every lookup is answered by an
+// in-process kcached over a warm disk tier. The gap to
+// BenchmarkScanWarmCache is the network tier's round-trip cost; the gap
+// to BenchmarkScanColdCache is what a second replica saves by joining a
+// warm fleet instead of scanning cold.
+func BenchmarkScanWarmRemote(b *testing.B) {
+	h, _, _ := setupBench(b)
+	ck := mustChecker(b, benchCacheDSL)
+	disk, err := store.NewDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	kc := httptest.NewServer(store.NewCacheServer(disk).Handler())
+	defer kc.Close()
+	newReplicaStore := func() store.Store {
+		remote, err := store.NewRemote(kc.URL, store.RemoteConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return store.NewCoalesced(store.NewTiered(store.NewMemory(0), remote))
+	}
+	// Replica A's cold scan warms the shared tier.
+	scan.NewIncremental(h.Codebase, newReplicaStore()).RunOne(ck, scan.Options{})
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		// Each iteration is a brand-new replica: first scan, warm fleet.
+		res = scan.NewIncremental(h.Codebase, newReplicaStore()).RunOne(ck, scan.Options{})
+	}
+	if res.CacheMisses != 0 {
+		b.Fatalf("fleet-warm scan missed %d times", res.CacheMisses)
+	}
+	b.ReportMetric(float64(res.CacheHits), "remote-hits")
 }
 
 // BenchmarkSmatchBaseline measures the baseline analyzer's full-corpus

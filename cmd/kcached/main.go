@@ -1,0 +1,73 @@
+// Command kcached is the fleet cache daemon: it serves the
+// content-addressed analysis-result store over HTTP so a fleet of kserve
+// replicas shares one warm cache. A replica started with
+// -cache-remote=http://kcached-host:8322 composes this daemon between
+// its in-memory tier and its (optional) local disk tier; the second
+// replica's first scan of a corpus its sibling already analyzed is then
+// answered from here instead of recomputed.
+//
+// The daemon is deliberately nothing more than the existing store.Disk
+// tier behind the store.CacheServer protocol: entries are one JSON file
+// each, sharded by function hash, and survive restarts. Consistency
+// needs no coordination — keys are content addresses, so an entry can
+// only ever be correct for the inputs that produced it; invalidation
+// (POST /invalidate, issued by replicas applying changesets) is garbage
+// collection of unreachable keys, not a correctness mechanism.
+//
+// Usage:
+//
+//	kcached -cache-dir /var/cache/kcached
+//	kcached -addr :8322 -cache-ttl 72h -cache-max-bytes 1073741824
+//
+// Endpoints:
+//
+//	GET  /entry/{id}?fh=&ck=&eng=   cached result (200) or miss (404)
+//	PUT  /entry/{id}?fh=&ck=&eng=   store a result (204)
+//	POST /invalidate                {"func_hashes": [...]}
+//	GET  /stats                     store + request counters
+//	GET  /healthz                   liveness
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"knighter/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", ":8322", "listen address")
+	cacheDir := flag.String("cache-dir", "", "cache directory (required)")
+	cacheTTL := flag.Duration("cache-ttl", 0, "drop entries older than this (0 = keep forever)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "byte budget; GC evicts oldest-first past it (0 = unbounded)")
+	flag.Parse()
+
+	if *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "kcached: -cache-dir is required")
+		os.Exit(2)
+	}
+	var opts []store.DiskOption
+	if *cacheMaxBytes > 0 {
+		opts = append(opts, store.DiskMaxBytes(*cacheMaxBytes))
+	}
+	disk, err := store.NewDisk(*cacheDir, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kcached:", err)
+		os.Exit(1)
+	}
+	if *cacheTTL > 0 || *cacheMaxBytes > 0 {
+		disk.StartGCLoop(*cacheTTL, func(n int, err error) {
+			if err != nil {
+				log.Printf("kcached: GC: %v", err)
+			} else if n > 0 {
+				log.Printf("kcached: GC removed %d entries", n)
+			}
+		})
+	}
+	st := disk.Stats()
+	log.Printf("kcached: serving %s (%d entries, %d bytes) on %s", *cacheDir, st.Entries, st.Bytes, *addr)
+	log.Fatal(http.ListenAndServe(*addr, store.NewCacheServer(disk).Handler()))
+}

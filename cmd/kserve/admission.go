@@ -1,8 +1,10 @@
 package main
 
 import (
+	"net"
 	"net/http"
 	"strconv"
+	"sync"
 	"sync/atomic"
 )
 
@@ -15,22 +17,37 @@ import (
 // starve the accept loop, and a well-behaved client sees an honest
 // retry hint instead of a hung connection.
 //
+// The queue is additionally fair per client: each client (identified by
+// the X-Client-ID header, falling back to the remote address) may hold
+// at most maxQueuedPerClient queue slots, so a chatty client saturates
+// its own allowance and gets shed while everyone else still queues —
+// FIFO order among admitted requests is unchanged.
+//
 // Admission is deliberately in front of the handler, not inside it: a
 // shed request costs one atomic add and one small JSON write, never a
 // checker compile or a codebase lock.
 type admission struct {
 	// tokens is the inflight semaphore; sends acquire, receives release.
-	tokens    chan struct{}
-	maxQueued int64
-	queued    atomic.Int64
-	inflight  atomic.Int64
-	admitted  atomic.Int64
-	shed      atomic.Int64
+	tokens             chan struct{}
+	maxQueued          int64
+	maxQueuedPerClient int64
+	queued             atomic.Int64
+	inflight           atomic.Int64
+	admitted           atomic.Int64
+	shed               atomic.Int64
+	fairShed           atomic.Int64
+
+	// cmu guards queuedByClient: per-client queue occupancy, entries
+	// removed at zero so the map tracks only currently-queued clients.
+	cmu            sync.Mutex
+	queuedByClient map[string]int64
 }
 
 // newAdmission returns a gate admitting maxInflight concurrent requests
-// with maxQueued waiters, or nil (no gating) when maxInflight <= 0.
-func newAdmission(maxInflight, maxQueued int) *admission {
+// with maxQueued waiters (at most maxQueuedPerClient of them from any
+// one client; <= 0 disables the per-client bound), or nil (no gating)
+// when maxInflight <= 0.
+func newAdmission(maxInflight, maxQueued, maxQueuedPerClient int) *admission {
 	if maxInflight <= 0 {
 		return nil
 	}
@@ -38,9 +55,55 @@ func newAdmission(maxInflight, maxQueued int) *admission {
 		maxQueued = 0
 	}
 	return &admission{
-		tokens:    make(chan struct{}, maxInflight),
-		maxQueued: int64(maxQueued),
+		tokens:             make(chan struct{}, maxInflight),
+		maxQueued:          int64(maxQueued),
+		maxQueuedPerClient: int64(maxQueuedPerClient),
+		queuedByClient:     map[string]int64{},
 	}
+}
+
+// clientKey identifies the requester for fairness accounting: an
+// explicit X-Client-ID header when the client sends one (the refinement
+// loop and eval harness are expected to), otherwise the remote host —
+// so even anonymous clients are bounded per source address.
+func clientKey(r *http.Request) string {
+	if id := r.Header.Get("X-Client-ID"); id != "" {
+		return id
+	}
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// clientEnqueue claims a queue slot for the client, or reports that the
+// client is already at its per-client bound.
+func (a *admission) clientEnqueue(key string) bool {
+	if a.maxQueuedPerClient <= 0 {
+		return true
+	}
+	a.cmu.Lock()
+	defer a.cmu.Unlock()
+	if a.queuedByClient[key] >= a.maxQueuedPerClient {
+		return false
+	}
+	a.queuedByClient[key]++
+	return true
+}
+
+// clientDequeue releases the client's queue slot.
+func (a *admission) clientDequeue(key string) {
+	if a.maxQueuedPerClient <= 0 {
+		return
+	}
+	a.cmu.Lock()
+	if a.queuedByClient[key] <= 1 {
+		delete(a.queuedByClient, key)
+	} else {
+		a.queuedByClient[key]--
+	}
+	a.cmu.Unlock()
 }
 
 // retryAfterSeconds estimates when a slot is likely to free up: one
@@ -48,6 +111,12 @@ func newAdmission(maxInflight, maxQueued int) *admission {
 // second so clients cannot busy-spin.
 func (a *admission) retryAfterSeconds() int {
 	return 1 + int(a.queued.Load())/cap(a.tokens)
+}
+
+func (a *admission) shedRequest(w http.ResponseWriter, msg string) {
+	a.shed.Add(1)
+	w.Header().Set("Retry-After", strconv.Itoa(a.retryAfterSeconds()))
+	httpError(w, http.StatusTooManyRequests, msg)
 }
 
 // wrap gates h behind the admission queue. A nil *admission is a no-op,
@@ -61,20 +130,31 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 		case a.tokens <- struct{}{}:
 			// Fast path: a slot was free.
 		default:
+			key := clientKey(r)
+			// The global bound is checked first so FairnessShed keeps its
+			// stated meaning: sheds a request from any other client would
+			// NOT have suffered. A full queue sheds everyone identically
+			// and says nothing about per-client hogging.
 			if q := a.queued.Add(1); q > a.maxQueued {
 				a.queued.Add(-1)
-				a.shed.Add(1)
-				w.Header().Set("Retry-After", strconv.Itoa(a.retryAfterSeconds()))
-				httpError(w, http.StatusTooManyRequests, "admission queue full; retry after the indicated delay")
+				a.shedRequest(w, "admission queue full; retry after the indicated delay")
+				return
+			}
+			if !a.clientEnqueue(key) {
+				a.queued.Add(-1)
+				a.fairShed.Add(1)
+				a.shedRequest(w, "per-client queue bound reached; retry after the indicated delay")
 				return
 			}
 			select {
 			case a.tokens <- struct{}{}:
 				a.queued.Add(-1)
+				a.clientDequeue(key)
 			case <-r.Context().Done():
 				// The client gave up while queued; release the queue slot
 				// without ever taking an inflight one.
 				a.queued.Add(-1)
+				a.clientDequeue(key)
 				return
 			}
 		}
@@ -90,12 +170,17 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 
 // admissionStats is the GET /stats view of the gate.
 type admissionStats struct {
-	MaxInflight int   `json:"max_inflight"`
-	MaxQueued   int64 `json:"max_queued"`
-	Inflight    int64 `json:"inflight"`
-	Queued      int64 `json:"queued"`
-	Admitted    int64 `json:"admitted"`
-	Shed        int64 `json:"shed"`
+	MaxInflight        int   `json:"max_inflight"`
+	MaxQueued          int64 `json:"max_queued"`
+	MaxQueuedPerClient int64 `json:"max_queued_per_client,omitempty"`
+	Inflight           int64 `json:"inflight"`
+	Queued             int64 `json:"queued"`
+	QueuedClients      int   `json:"queued_clients"`
+	Admitted           int64 `json:"admitted"`
+	Shed               int64 `json:"shed"`
+	// FairnessShed counts sheds caused by the per-client bound alone —
+	// requests that would have queued had another client sent them.
+	FairnessShed int64 `json:"fairness_shed"`
 }
 
 // snapshot returns the current counters, or nil when gating is off.
@@ -103,12 +188,18 @@ func (a *admission) snapshot() *admissionStats {
 	if a == nil {
 		return nil
 	}
+	a.cmu.Lock()
+	clients := len(a.queuedByClient)
+	a.cmu.Unlock()
 	return &admissionStats{
-		MaxInflight: cap(a.tokens),
-		MaxQueued:   a.maxQueued,
-		Inflight:    a.inflight.Load(),
-		Queued:      a.queued.Load(),
-		Admitted:    a.admitted.Load(),
-		Shed:        a.shed.Load(),
+		MaxInflight:        cap(a.tokens),
+		MaxQueued:          a.maxQueued,
+		MaxQueuedPerClient: a.maxQueuedPerClient,
+		Inflight:           a.inflight.Load(),
+		Queued:             a.queued.Load(),
+		QueuedClients:      clients,
+		Admitted:           a.admitted.Load(),
+		Shed:               a.shed.Load(),
+		FairnessShed:       a.fairShed.Load(),
 	}
 }

@@ -1,0 +1,301 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+	"knighter/internal/scan"
+	"knighter/internal/store"
+)
+
+// newKcached boots an in-process kcached over a disk tier: the exact
+// handler cmd/kcached serves, minus the flag parsing.
+func newKcached(t *testing.T) (*store.Disk, *httptest.Server) {
+	t.Helper()
+	disk, err := store.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	kc := httptest.NewServer(store.NewCacheServer(disk).Handler())
+	t.Cleanup(kc.Close)
+	return disk, kc
+}
+
+// newFleetReplica builds a kserve replica with the fleet store
+// composition main() wires for -cache-remote: coalesced(memory ->
+// remote). Each replica parses its own copy of the same corpus, like
+// real replicas deployed from one image.
+func newFleetReplica(t *testing.T, kcURL string, rcfg store.RemoteConfig) (*server, *httptest.Server) {
+	t.Helper()
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := store.NewRemote(kcURL, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st store.Store = store.NewTiered(store.NewMemory(0), asyncInvalidate{remote})
+	st = store.NewCoalesced(st)
+	srv := newServer(scan.NewIncremental(cb, st))
+	srv.remote = remote
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func reportsJSON(t *testing.T, resp *scanResponse) string {
+	t.Helper()
+	data, err := json.Marshal(resp.Reports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// TestFleetSecondReplicaScansWarm is the tentpole acceptance criterion:
+// after replica A's cold scan, replica B's FIRST scan of the same corpus
+// is answered almost entirely from the shared tier — byte-identical
+// reports, >= 90% hit rate, zero remote errors.
+func TestFleetSecondReplicaScansWarm(t *testing.T) {
+	_, kc := newKcached(t)
+	srvA, tsA := newFleetReplica(t, kc.URL, store.RemoteConfig{})
+	srvB, tsB := newFleetReplica(t, kc.URL, store.RemoteConfig{})
+
+	a := postScan(t, tsA, scanRequest{Checker: testChecker})
+	if a.Cache.Hits != 0 {
+		t.Fatalf("replica A's cold scan hit %d times", a.Cache.Hits)
+	}
+	if rs := srvA.remote.RemoteStats(); rs.Puts == 0 {
+		t.Fatalf("replica A published nothing to the shared tier: %+v", rs)
+	}
+
+	b := postScan(t, tsB, scanRequest{Checker: testChecker})
+	if b.Cache.HitRate < 0.9 {
+		t.Fatalf("replica B's first scan hit rate = %.2f, want >= 0.9 (hits=%d misses=%d)",
+			b.Cache.HitRate, b.Cache.Hits, b.Cache.Misses)
+	}
+	if got, want := reportsJSON(t, b), reportsJSON(t, a); got != want {
+		t.Fatalf("replica B's warm scan differs from replica A's cold scan:\nA: %s\nB: %s", want, got)
+	}
+	rs := srvB.remote.RemoteStats()
+	if rs.Hits == 0 || rs.Errors != 0 {
+		t.Fatalf("replica B remote stats = %+v, want hits > 0 and no errors", rs)
+	}
+
+	// B's hits were promoted into its memory tier: a re-scan no longer
+	// touches the network.
+	before := srvB.remote.RemoteStats().Hits
+	again := postScan(t, tsB, scanRequest{Checker: testChecker})
+	if again.Cache.Misses != 0 {
+		t.Fatalf("replica B's re-scan missed %d times", again.Cache.Misses)
+	}
+	if after := srvB.remote.RemoteStats().Hits; after != before {
+		t.Fatalf("re-scan went to the remote tier (%d -> %d hits)", before, after)
+	}
+}
+
+// TestFleetKcachedDeathDegradesToLocal: killing the cache daemon
+// mid-run must cause zero non-2xx scan responses — replicas degrade to
+// their local tiers with misses, and the breaker stops them from paying
+// a connection attempt per function.
+func TestFleetKcachedDeathDegradesToLocal(t *testing.T) {
+	_, kc := newKcached(t)
+	rcfg := store.RemoteConfig{
+		Timeout:          200 * time.Millisecond,
+		BreakerThreshold: 3,
+		BreakerCooldown:  time.Minute, // stays open for the rest of the test
+	}
+	_, tsA := newFleetReplica(t, kc.URL, rcfg)
+	_, tsB := newFleetReplica(t, kc.URL, rcfg)
+
+	a := postScan(t, tsA, scanRequest{Checker: testChecker})
+
+	kc.Close() // the daemon dies
+
+	// A's entries are in its memory tier; B is completely cold and every
+	// remote lookup fails. Both must still answer 200 with full results.
+	a2 := postScan(t, tsA, scanRequest{Checker: testChecker})
+	if got, want := reportsJSON(t, a2), reportsJSON(t, a); got != want {
+		t.Fatal("replica A's post-death scan differs from its pre-death scan")
+	}
+	b := postScan(t, tsB, scanRequest{Checker: testChecker}) // postScan fails the test on any non-200
+	if got, want := reportsJSON(t, b), reportsJSON(t, a); got != want {
+		t.Fatal("replica B's local-only scan differs from replica A's")
+	}
+	if b.Cache.Hits != 0 {
+		t.Fatalf("replica B hit %d entries with the daemon dead", b.Cache.Hits)
+	}
+
+	// The breaker opened and cut off traffic: B paid a handful of failed
+	// round-trips (threshold plus whatever was in flight when it opened),
+	// not one per function.
+	stats := getStats(t, tsB)
+	if stats.Remote == nil {
+		t.Fatal("no remote stats on a fleet replica")
+	}
+	if !stats.Remote.BreakerOpen || stats.Remote.BreakerOpens == 0 {
+		t.Fatalf("breaker did not open: %+v", stats.Remote)
+	}
+	if b.Cache.Misses < 20 {
+		t.Fatalf("corpus too small to prove the breaker mattered: %d misses", b.Cache.Misses)
+	}
+	if stats.Remote.Errors >= int64(b.Cache.Misses)/2 {
+		t.Fatalf("%d failed round-trips for %d misses; breaker did not cut off traffic",
+			stats.Remote.Errors, b.Cache.Misses)
+	}
+
+	// And replica A keeps serving warm scans indefinitely.
+	a3 := postScan(t, tsA, scanRequest{Checker: testChecker})
+	if a3.Cache.Misses != 0 {
+		t.Fatalf("replica A's warm scan missed %d times after daemon death", a3.Cache.Misses)
+	}
+}
+
+// TestFleetChangesetInvalidatesSharedTier: a /changeset on replica A
+// fans its orphaned hashes out to kcached, and a replica that applies
+// the same changeset scans correctly afterwards — no stale shared
+// results.
+func TestFleetChangesetInvalidatesSharedTier(t *testing.T) {
+	disk, kc := newKcached(t)
+	srvA, tsA := newFleetReplica(t, kc.URL, store.RemoteConfig{})
+	_, tsB := newFleetReplica(t, kc.URL, store.RemoteConfig{})
+
+	postScan(t, tsA, scanRequest{Checker: testChecker}) // warm the shared tier
+	sharedBefore := disk.Stats().Entries
+	if sharedBefore == 0 {
+		t.Fatal("shared tier empty after replica A's scan")
+	}
+
+	// Patch the last function of the first file on both replicas (the
+	// fleet deployment model: an orchestrator applies each commit to
+	// every replica).
+	cb := srvA.inc.Codebase()
+	path := cb.Files[0].Name
+	fn := cb.Files[0].Funcs[len(cb.Files[0].Funcs)-1]
+	src := minic.FormatFunc(fn)
+	brace := strings.Index(src, "{")
+	src = src[:brace+1] + "\n\tint fleet_probe;" + src[brace+1:]
+	change := changesetRequest{Changes: []changeJSON{{Path: path, Func: fn.Name, Source: src}}}
+
+	var csA changesetResponse
+	if code := postJSON(t, tsA, "/changeset", change, &csA); code != http.StatusOK {
+		t.Fatalf("changeset on A: status %d", code)
+	}
+	if csA.StoreInvalidated == 0 {
+		t.Fatal("changeset invalidated nothing despite a warm shared tier")
+	}
+	// Remote invalidation is fired asynchronously (asyncInvalidate keeps
+	// the network round-trip out of the corpus write lock), so poll for
+	// it rather than asserting instantly.
+	deadline := time.Now().Add(5 * time.Second)
+	for disk.Stats().Invalidated == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("invalidation did not reach kcached")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if code := postJSON(t, tsB, "/changeset", change, nil); code != http.StatusOK {
+		t.Fatal("changeset on B failed")
+	}
+
+	// Ground truth: an isolated replica (no shared tier) built from the
+	// same corpus with the same changeset applied.
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
+	cbRef, err := scan.NewCodebase(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSrv := newServer(scan.NewIncremental(cbRef, store.NewMemory(0)))
+	tsRef := httptest.NewServer(refSrv.routes())
+	t.Cleanup(tsRef.Close)
+	if code := postJSON(t, tsRef, "/changeset", change, nil); code != http.StatusOK {
+		t.Fatal("changeset on reference replica failed")
+	}
+	want := reportsJSON(t, postScan(t, tsRef, scanRequest{Checker: testChecker}))
+
+	if got := reportsJSON(t, postScan(t, tsB, scanRequest{Checker: testChecker})); got != want {
+		t.Fatalf("replica B served stale results after the changeset:\nwant %s\ngot  %s", want, got)
+	}
+	if got := reportsJSON(t, postScan(t, tsA, scanRequest{Checker: testChecker})); got != want {
+		t.Fatal("replica A served stale results after its own changeset")
+	}
+}
+
+// TestFleetConcurrentColdScansCoalesce: two replicas' worth of identical
+// concurrent scans on ONE replica share computations via the coalescing
+// tier instead of analyzing every function twice.
+func TestFleetConcurrentColdScansCoalesce(t *testing.T) {
+	_, kc := newKcached(t)
+	srv, ts := newFleetReplica(t, kc.URL, store.RemoteConfig{})
+
+	// t.Fatal must not run off the test goroutine, so workers record an
+	// error and the test goroutine fails after the barrier.
+	const n = 4
+	var wg sync.WaitGroup
+	responses := make([]*scanResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			data, err := json.Marshal(scanRequest{Checker: testChecker})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				errs[i] = fmt.Errorf("POST /scan status = %d", resp.StatusCode)
+				return
+			}
+			var out scanResponse
+			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+				errs[i] = err
+				return
+			}
+			responses[i] = &out
+		}(i)
+	}
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("concurrent scan %d: %v", i, err)
+		}
+	}
+	want := reportsJSON(t, responses[0])
+	for i := 1; i < n; i++ {
+		if reportsJSON(t, responses[i]) != want {
+			t.Fatalf("concurrent scan %d differs", i)
+		}
+	}
+	// The coalescing counter is cumulative in the store stats; with n
+	// identical concurrent cold scans there is ample overlap unless the
+	// scans happened to serialize (possible on a loaded machine, so only
+	// assert when at least two scans genuinely overlapped on a miss).
+	st := srv.inc.Stats()
+	totalCoalesced := 0
+	for _, r := range responses {
+		totalCoalesced += r.Cache.Coalesced
+	}
+	if int64(totalCoalesced) != st.Coalesced {
+		t.Fatalf("per-response coalesce counts (%d) disagree with store counter (%d)",
+			totalCoalesced, st.Coalesced)
+	}
+}

@@ -21,9 +21,10 @@
 //
 //	kserve                         # serve the synthetic corpus on :8321
 //	kserve -addr :9000 -scale 0.5
-//	kserve -cache-dir /var/cache/kserve -cache-ttl 72h
+//	kserve -cache-dir /var/cache/kserve -cache-ttl 72h -cache-max-bytes 268435456
+//	kserve -cache-remote http://cache-host:8322   # share results fleet-wide via kcached
 //	kserve -func-timeout 2s        # default per-function analysis budget
-//	kserve -max-inflight 8 -max-queued 32
+//	kserve -max-inflight 8 -max-queued 32 -max-queued-per-client 4
 //
 // Endpoints:
 //
@@ -36,6 +37,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -61,9 +63,13 @@ func main() {
 	cacheBytes := flag.Int64("cache-bytes", 0, "in-memory cache budget in serialized bytes (0 = default 64 MiB)")
 	cacheDir := flag.String("cache-dir", "", "optional on-disk cache tier directory")
 	cacheTTL := flag.Duration("cache-ttl", 0, "drop disk-tier entries older than this (0 = keep forever)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk-tier byte budget; GC evicts oldest-first past it (0 = unbounded)")
+	cacheRemote := flag.String("cache-remote", "", "optional kcached URL for the shared fleet cache tier (e.g. http://cache-host:8322)")
+	cacheRemoteTimeout := flag.Duration("cache-remote-timeout", 2*time.Second, "per-request budget for the remote tier")
 	funcTimeout := flag.Duration("func-timeout", 0, "default per-function analysis budget (0 = none)")
 	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent scan-shaped requests (0 = unlimited, no admission control)")
 	maxQueued := flag.Int("max-queued", 64, "max requests waiting for an inflight slot before shedding with 429")
+	maxQueuedPerClient := flag.Int("max-queued-per-client", 16, "max queued requests per client key (X-Client-ID header or remote address; 0 = unbounded)")
 	flag.Parse()
 
 	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
@@ -72,21 +78,54 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kserve:", err)
 		os.Exit(1)
 	}
-	var st store.Store = store.NewMemory(*cacheBytes)
+	// Tier composition: memory in front, then the shared remote tier,
+	// then the local disk tier — so a local miss is answered by the
+	// fleet before falling back to this replica's own disk, and every
+	// local computation is published for the siblings. The whole stack
+	// is wrapped in singleflight coalescing: identical concurrent misses
+	// (whose window the remote round-trip widens) compute once.
 	var disk *store.Disk
-	if *cacheDir != "" {
-		disk, err = store.NewDisk(*cacheDir)
+	var remote *store.Remote
+	var back []store.Store
+	if *cacheRemote != "" {
+		remote, err = store.NewRemote(*cacheRemote, store.RemoteConfig{Timeout: *cacheRemoteTimeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
 		}
-		st = store.NewTiered(st, disk)
+		back = append(back, asyncInvalidate{remote})
 	}
+	if *cacheDir != "" {
+		var opts []store.DiskOption
+		if *cacheMaxBytes > 0 {
+			opts = append(opts, store.DiskMaxBytes(*cacheMaxBytes))
+		}
+		disk, err = store.NewDisk(*cacheDir, opts...)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "kserve:", err)
+			os.Exit(1)
+		}
+		back = append(back, disk)
+	} else if *cacheMaxBytes > 0 {
+		log.Printf("kserve: -cache-max-bytes ignored without -cache-dir (the byte budget bounds the disk tier; use -cache-bytes for the memory tier)")
+	}
+	var st store.Store = store.NewMemory(*cacheBytes)
+	switch len(back) {
+	case 1:
+		st = store.NewTiered(st, back[0])
+	case 2:
+		st = store.NewTiered(st, store.NewTiered(back[0], back[1]))
+	}
+	st = store.NewCoalesced(st)
 	srv := newServer(scan.NewIncremental(cb, st))
+	srv.remote = remote
 	srv.funcTimeout = *funcTimeout
-	srv.adm = newAdmission(*maxInflight, *maxQueued)
-	if disk != nil && *cacheTTL > 0 {
+	srv.adm = newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient)
+	if disk != nil && (*cacheTTL > 0 || *cacheMaxBytes > 0) {
 		srv.startDiskGC(disk, *cacheTTL)
+	}
+	if remote != nil {
+		log.Printf("kserve: fleet cache tier: %s", *cacheRemote)
 	}
 	if srv.adm != nil {
 		log.Printf("kserve: admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
@@ -105,6 +144,9 @@ type server struct {
 	funcTimeout time.Duration
 	// adm gates the scan-shaped endpoints; nil = no admission control.
 	adm *admission
+	// remote is the shared fleet cache tier, when -cache-remote is set;
+	// kept for /stats health reporting.
+	remote *store.Remote
 
 	// mu serializes corpus mutations against scans: /scan and /batch
 	// hold the read lock, /patch and /changeset the write lock — so a
@@ -119,6 +161,7 @@ type server struct {
 	patches       atomic.Int64
 	changesets    atomic.Int64
 	scanErrors    atomic.Int64
+	scansCanceled atomic.Int64
 	reportsServed atomic.Int64
 	gcRemoved     atomic.Int64
 }
@@ -127,28 +170,38 @@ func newServer(inc *scan.Incremental) *server {
 	return &server{inc: inc, started: time.Now()}
 }
 
-// startDiskGC sweeps the disk tier every ttl/4 (at least once a minute,
-// at most every 15 minutes), dropping entries older than ttl.
+// asyncInvalidate wraps the remote tier so corpus mutations never hold
+// the server's write lock across a network round-trip: /patch and
+// /changeset invalidate the store while every scan waits on s.mu, and a
+// slow or dead kcached would otherwise stall them all for the remote
+// timeout. Safe to defer because remote invalidation is garbage
+// collection, not a correctness mechanism — content addressing means
+// the orphaned keys can never be requested again (the daemon's doc
+// comment states the same contract). Gets, Puts, and Stats pass through
+// synchronously.
+type asyncInvalidate struct{ *store.Remote }
+
+func (a asyncInvalidate) InvalidateFunc(funcHash string) int {
+	go a.Remote.InvalidateFunc(funcHash)
+	return 0
+}
+
+func (a asyncInvalidate) InvalidateFuncs(funcHashes []string) int {
+	go a.Remote.InvalidateFuncs(funcHashes)
+	return 0
+}
+
+// startDiskGC runs the store's GC loop over the disk tier, hooking the
+// server's counter and log line into each sweep.
 func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
-	every := ttl / 4
-	if every < time.Minute {
-		every = time.Minute
-	}
-	if every > 15*time.Minute {
-		every = 15 * time.Minute
-	}
-	go func() {
-		for {
-			n, err := disk.GC(ttl)
-			if err != nil {
-				log.Printf("kserve: disk GC: %v", err)
-			} else if n > 0 {
-				s.gcRemoved.Add(int64(n))
-				log.Printf("kserve: disk GC dropped %d entries older than %s", n, ttl)
-			}
-			time.Sleep(every)
+	disk.StartGCLoop(ttl, func(n int, err error) {
+		if err != nil {
+			log.Printf("kserve: disk GC: %v", err)
+		} else if n > 0 {
+			s.gcRemoved.Add(int64(n))
+			log.Printf("kserve: disk GC removed %d entries", n)
 		}
-	}()
+	})
 }
 
 func (s *server) routes() http.Handler {
@@ -209,13 +262,17 @@ type cacheJSON struct {
 	Hits    int     `json:"hits"`
 	Misses  int     `json:"misses"`
 	HitRate float64 `json:"hit_rate"`
+	// Coalesced counts misses served by sharing another request's
+	// in-flight computation of the same key.
+	Coalesced int `json:"coalesced,omitempty"`
 }
 
 func cacheOf(res *scan.Result) cacheJSON {
 	return cacheJSON{
-		Hits:    res.CacheHits,
-		Misses:  res.CacheMisses,
-		HitRate: store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
+		Hits:      res.CacheHits,
+		Misses:    res.CacheMisses,
+		HitRate:   store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
+		Coalesced: res.CacheCoalesced,
 	}
 }
 
@@ -228,6 +285,7 @@ type scanResponse struct {
 	FuncsScanned int          `json:"funcs_scanned"`
 	RuntimeErrs  []string     `json:"runtime_errs,omitempty"`
 	Truncated    bool         `json:"truncated"`
+	Canceled     bool         `json:"canceled,omitempty"`
 	TimedOut     int          `json:"funcs_timed_out,omitempty"`
 	Cache        cacheJSON    `json:"cache"`
 	ElapsedMS    float64      `json:"elapsed_ms"`
@@ -240,6 +298,7 @@ func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool
 		FilesScanned: res.FilesScanned,
 		FuncsScanned: res.FuncsScanned,
 		Truncated:    res.Truncated,
+		Canceled:     res.Canceled,
 		TimedOut:     res.FuncsTimedOut,
 		Cache:        cacheOf(res),
 		// The scan's own wall time: for a batch entry this is the
@@ -282,11 +341,15 @@ func (s *server) resolveFiles(paths []string) ([]int, error) {
 	return files, nil
 }
 
-func (s *server) scanOptions(maxReports, workers, funcTimeoutMS int) scan.Options {
+func (s *server) scanOptions(ctx context.Context, maxReports, workers, funcTimeoutMS int) scan.Options {
 	opts := scan.Options{
 		Workers:     workers,
 		MaxReports:  maxReports,
 		FuncTimeout: s.funcTimeout,
+		// The request context: a client that disconnects mid-scan stops
+		// paying for the rest of it (the admitted slot frees up, and no
+		// partial results are cached).
+		Context: ctx,
 	}
 	if funcTimeoutMS > 0 {
 		opts.FuncTimeout = time.Duration(funcTimeoutMS) * time.Millisecond
@@ -330,8 +393,11 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 
 	res := s.inc.RunFiles(files, []checker.Checker{ck},
-		s.scanOptions(req.MaxReports, req.Workers, req.FuncTimeoutMS))
+		s.scanOptions(r.Context(), req.MaxReports, req.Workers, req.FuncTimeoutMS))
 	s.scans.Add(1)
+	if res.Canceled {
+		s.scansCanceled.Add(1)
+	}
 	writeJSON(w, http.StatusOK, s.toScanResponse(ck.Name(), res, req.IncludeTrace))
 }
 
@@ -412,7 +478,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	results := s.inc.RunBatch(cks, files,
-		s.scanOptions(req.MaxReports, req.Workers, req.FuncTimeoutMS), req.Concurrency)
+		s.scanOptions(r.Context(), req.MaxReports, req.Workers, req.FuncTimeoutMS), req.Concurrency)
 	elapsed := time.Since(start)
 
 	agg := &scan.Result{}
@@ -420,6 +486,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace)
 		agg.CacheHits += res.CacheHits
 		agg.CacheMisses += res.CacheMisses
+		agg.CacheCoalesced += res.CacheCoalesced
+		if res.Canceled {
+			s.scansCanceled.Add(1)
+		}
 	}
 	resp.CheckersRun = len(cks)
 	resp.Cache = cacheOf(agg)
@@ -592,10 +662,15 @@ type statsResponse struct {
 	Patches       int64       `json:"patches"`
 	Changesets    int64       `json:"changesets"`
 	ScanErrors    int64       `json:"scan_errors"`
+	ScansCanceled int64       `json:"scans_canceled"`
 	ReportsServed int64       `json:"reports_served"`
 	GCRemoved     int64       `json:"gc_removed"`
 	Store         store.Stats `json:"store"`
 	StoreHitRate  float64     `json:"store_hit_rate"`
+	// Remote is present only when the daemon runs with a fleet cache
+	// tier (-cache-remote): the client-side view of the shared tier's
+	// health, including circuit-breaker state.
+	Remote *store.RemoteStats `json:"remote,omitempty"`
 	// Admission is present only when the daemon runs with admission
 	// control (-max-inflight > 0).
 	Admission *admissionStats `json:"admission,omitempty"`
@@ -606,6 +681,11 @@ type statsResponse struct {
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.inc.Stats()
 	cb := s.inc.Codebase()
+	var remote *store.RemoteStats
+	if s.remote != nil {
+		rs := s.remote.RemoteStats()
+		remote = &rs
+	}
 	writeJSON(w, http.StatusOK, &statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Files:         len(cb.Files),
@@ -616,10 +696,12 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Patches:       s.patches.Load(),
 		Changesets:    s.changesets.Load(),
 		ScanErrors:    s.scanErrors.Load(),
+		ScansCanceled: s.scansCanceled.Load(),
 		ReportsServed: s.reportsServed.Load(),
 		GCRemoved:     s.gcRemoved.Load(),
 		Store:         st,
 		StoreHitRate:  st.HitRate(),
+		Remote:        remote,
 		Admission:     s.adm.snapshot(),
 	})
 }

@@ -438,7 +438,7 @@ func TestChangesetEndpointRejectsBadRequests(t *testing.T) {
 // 429 with a Retry-After hint, admitted requests complete normally, and
 // the shed/admitted counters land in /stats.
 func TestAdmissionShedsExcessLoad(t *testing.T) {
-	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1))
+	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1, 0))
 
 	release := make(chan struct{})
 	var inflight sync.WaitGroup

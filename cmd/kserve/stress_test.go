@@ -23,7 +23,7 @@ import (
 // be byte-identical to a cold scan of whatever corpus state the
 // interleaved changesets produced.
 func TestStressScansChangesetsAndSaturation(t *testing.T) {
-	srv, ts := newTestServerWithAdmission(t, newAdmission(2, 2))
+	srv, ts := newTestServerWithAdmission(t, newAdmission(2, 2, 0))
 	cb := srv.inc.Codebase()
 	path := cb.Files[0].Name
 	canonical := minic.FormatFile(cb.Files[0])
@@ -143,7 +143,7 @@ func TestStressScansChangesetsAndSaturation(t *testing.T) {
 // while the gate is saturated — they are deliberately outside admission
 // control.
 func TestStressHealthzDuringSaturation(t *testing.T) {
-	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1))
+	srv, ts := newTestServerWithAdmission(t, newAdmission(1, 1, 0))
 	// Saturate: occupy the inflight slot and fill the queue.
 	srv.adm.tokens <- struct{}{}
 	defer func() { <-srv.adm.tokens }()

@@ -31,7 +31,7 @@ func (r *Result) Clone() *Result {
 	if r == nil {
 		return nil
 	}
-	out := &Result{Paths: r.Paths, Steps: r.Steps, Truncated: r.Truncated, TimedOut: r.TimedOut}
+	out := &Result{Paths: r.Paths, Steps: r.Steps, Truncated: r.Truncated, TimedOut: r.TimedOut, Canceled: r.Canceled}
 	if r.Reports != nil {
 		out.Reports = make([]*checker.Report, len(r.Reports))
 		copy(out.Reports, r.Reports)

@@ -8,6 +8,7 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -38,6 +39,13 @@ type Options struct {
 	// enforced both between frames and — via the evaluator's amortized
 	// deadline check — in the middle of a single enormous block.
 	Timeout time.Duration
+	// Ctx, when non-nil, lets the caller abort analysis early: its
+	// cancellation is checked at the same amortized points as the
+	// deadline, yielding a truncated result flagged Canceled. Like
+	// Timeout it is an operational guard excluded from Fingerprint, and
+	// canceled results must never be cached — they reflect where the
+	// caller gave up, not what the function contains.
+	Ctx context.Context
 }
 
 func (o Options) withDefaults() Options {
@@ -66,6 +74,10 @@ type Result struct {
 	// results are nondeterministic (they depend on wall-clock speed) and
 	// must never be cached.
 	TimedOut bool `json:",omitempty"`
+	// Canceled marks a result cut short by Options.Ctx cancellation.
+	// Like TimedOut it reflects the caller's circumstances, not the
+	// function's content, and must never be cached.
+	Canceled bool `json:",omitempty"`
 	// RuntimeErrs records checker crashes ("the analyzer encountered
 	// problems on source files"), keyed by function.
 	RuntimeErrs []RuntimeErr
@@ -98,6 +110,7 @@ func (r *Result) Merge(other *Result) {
 	r.Steps += other.Steps
 	r.Truncated = r.Truncated || other.Truncated
 	r.TimedOut = r.TimedOut || other.TimedOut
+	r.Canceled = r.Canceled || other.Canceled
 	r.RuntimeErrs = append(r.RuntimeErrs, other.RuntimeErrs...)
 }
 
@@ -116,6 +129,12 @@ func AnalyzeFile(file *minic.File, opts Options) *Result {
 func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Result) {
 	opts = opts.withDefaults()
 	res = &Result{}
+	if opts.Ctx != nil && opts.Ctx.Err() != nil {
+		// Already canceled: do not even build the CFG.
+		res.Truncated = true
+		res.Canceled = true
+		return res
+	}
 	graph, err := cfg.Build(fn)
 	if err != nil {
 		// Malformed control flow: skip the function (parity with CSA,
@@ -137,6 +156,9 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 	if opts.Timeout > 0 {
 		ex.deadline = time.Now().Add(opts.Timeout)
 	}
+	if opts.Ctx != nil {
+		ex.done = opts.Ctx.Done()
+	}
 	for _, s := range file.Structs {
 		ex.structs[s.Name] = s
 	}
@@ -148,6 +170,13 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 				// frame-level timeout, and equally uncacheable.
 				res.Truncated = true
 				res.TimedOut = true
+				return
+			}
+			if _, ok := p.(cancelAbort); ok {
+				// The caller's context was canceled mid-block (client
+				// disconnect, shutdown): same unwinding, different flag.
+				res.Truncated = true
+				res.Canceled = true
 				return
 			}
 			res.RuntimeErrs = append(res.RuntimeErrs, RuntimeErr{
@@ -165,6 +194,9 @@ func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Resul
 // in AnalyzeFunc, never escapes the package, and must not be confused
 // with a checker crash.
 type timeoutAbort struct{}
+
+// cancelAbort is the same mechanism for Options.Ctx cancellation.
+type cancelAbort struct{}
 
 type visitKey struct {
 	block int
@@ -186,6 +218,9 @@ type exec struct {
 	// deadline is the wall-clock cutoff for this function's analysis
 	// (zero = unbounded).
 	deadline time.Time
+	// done is the caller's cancellation signal (nil = none), checked at
+	// the same amortized points as the deadline.
+	done <-chan struct{}
 	// evals counts expression evaluations; every evalCheckInterval of
 	// them the deadline is re-checked, so even one enormous block — which
 	// the frame-level check in run() only sees at entry — cannot outlive
@@ -232,12 +267,19 @@ func (ex *exec) run() {
 			ex.res.Truncated = true
 			return
 		}
-		// The deadline check is amortized over 16 steps so unbounded-speed
-		// paths do not pay a clock read per frame.
-		if !ex.deadline.IsZero() && ex.res.Steps&15 == 1 && time.Now().After(ex.deadline) {
-			ex.res.Truncated = true
-			ex.res.TimedOut = true
-			return
+		// The deadline and cancellation checks are amortized over 16 steps
+		// so unbounded-speed paths do not pay a clock read per frame.
+		if ex.res.Steps&15 == 1 {
+			if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+				ex.res.Truncated = true
+				ex.res.TimedOut = true
+				return
+			}
+			if ex.canceled() {
+				ex.res.Truncated = true
+				ex.res.Canceled = true
+				return
+			}
 		}
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
@@ -302,6 +344,19 @@ func (ex *exec) run() {
 				ex.res.Paths++
 			}
 		}
+	}
+}
+
+// canceled reports (non-blockingly) whether the caller's context is done.
+func (ex *exec) canceled() bool {
+	if ex.done == nil {
+		return false
+	}
+	select {
+	case <-ex.done:
+		return true
+	default:
+		return false
 	}
 }
 

@@ -45,8 +45,13 @@ const evalCheckInterval = 256
 // AnalyzeFunc converts into a truncated, uncacheable TimedOut result.
 func (ex *exec) evalExpr(pc *pathCtx, e minic.Expr) sym.Value {
 	ex.evals++
-	if ex.evals%evalCheckInterval == 0 && !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
-		panic(timeoutAbort{})
+	if ex.evals%evalCheckInterval == 0 {
+		if !ex.deadline.IsZero() && time.Now().After(ex.deadline) {
+			panic(timeoutAbort{})
+		}
+		if ex.canceled() {
+			panic(cancelAbort{})
+		}
 	}
 	v := ex.evalExprUncached(pc, e)
 	pc.values[e] = v

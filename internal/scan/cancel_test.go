@@ -1,0 +1,85 @@
+package scan
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/store"
+)
+
+// TestScanCanceledContextSkipsAndFlags: a scan whose context is already
+// canceled does no analysis, caches nothing, and comes back flagged.
+func TestScanCanceledContextSkipsAndFlags(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	mem := store.NewMemory(0)
+	inc := NewIncremental(cb, mem)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := inc.RunOne(ck, Options{Context: ctx})
+	if !res.Canceled {
+		t.Fatal("canceled scan not flagged")
+	}
+	if res.CacheHits != 0 {
+		t.Fatalf("canceled scan hit %d entries in an empty store", res.CacheHits)
+	}
+	if s := mem.Stats(); s.Puts != 0 || s.Entries != 0 {
+		t.Fatalf("canceled scan cached %d entries (%d puts); canceled results must never be cached", s.Entries, s.Puts)
+	}
+
+	// A subsequent scan with a live context sees a completely cold store
+	// and produces exactly what an uncached scan produces.
+	clean := inc.RunOne(ck, Options{Workers: 1})
+	if clean.Canceled {
+		t.Fatal("clean scan inherited the Canceled flag")
+	}
+	plain := cb.RunOne(ck, Options{Workers: 1})
+	if resultBytes(t, clean) != resultBytes(t, plain) {
+		t.Fatal("scan after cancellation differs from uncached scan")
+	}
+}
+
+// TestScanMidFlightCancellation: canceling while the scan runs aborts
+// it, and whatever partial results were computed before the cut are all
+// clean cache entries — a later scan reuses them and still matches a
+// cold scan byte-for-byte.
+func TestScanMidFlightCancellation(t *testing.T) {
+	cb := buildCodebase(t)
+	ck := compileChecker(t)
+	mem := store.NewMemory(0)
+	inc := NewIncremental(cb, mem)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var once sync.Once
+	// Cancel from inside the scan: the store sees a Put for each
+	// completed function, so canceling on the first Put guarantees the
+	// scan is genuinely mid-flight.
+	st := &cancelOnPut{Store: mem, f: func() { once.Do(cancel) }}
+	incCut := NewIncremental(cb, st)
+	res := incCut.Run([]checker.Checker{ck}, Options{Workers: 2, Context: ctx})
+	_ = res // Canceled is timing-dependent with workers>1; the invariants below are not.
+
+	// Whatever did get cached must be clean: a fresh scan over the same
+	// store matches an uncached scan exactly.
+	after := inc.RunOne(ck, Options{Workers: 1})
+	plain := cb.RunOne(ck, Options{Workers: 1})
+	if resultBytes(t, after) != resultBytes(t, plain) {
+		t.Fatal("scan over a cancellation-interrupted store differs from uncached scan")
+	}
+}
+
+// cancelOnPut triggers f on every Put, then forwards to the wrapped
+// store.
+type cancelOnPut struct {
+	store.Store
+	f func()
+}
+
+func (c *cancelOnPut) Put(k store.Key, r *engine.Result) {
+	c.f()
+	c.Store.Put(k, r)
+}

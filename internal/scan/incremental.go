@@ -3,6 +3,7 @@ package scan
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"knighter/internal/checker"
@@ -119,30 +120,28 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	}
 	perFunc := make([]*engine.Result, len(units))
 	keys := make([]store.Key, len(units))
-	var misses []int
-	hits := 0
 	if cacheable {
+		// Key computation stays serial: pure hashing, no I/O.
 		for u, un := range units {
 			keys[u] = store.Key{
 				FuncHash:  inc.cb.funcHash(un.file, un.fn),
 				CheckerFP: ckFP,
 				EngineFP:  engFP,
 			}
-			if r, ok := inc.st.Get(keys[u]); ok {
-				perFunc[u] = r
-				hits++
-			} else {
-				misses = append(misses, u)
-			}
-		}
-	} else {
-		misses = make([]int, len(units))
-		for u := range units {
-			misses[u] = u
 		}
 	}
 
-	if len(misses) > 0 {
+	// The cache probe runs INSIDE the worker pool, not as a serial
+	// prologue: with a remote tier every Get can be a network round-trip,
+	// and a fleet-warm scan is nothing but Gets — serializing them would
+	// make the scan's headline path single-threaded I/O. Each worker
+	// probes, then computes on miss; with a coalescing store, concurrent
+	// misses on one key — this scan racing an identical scan from another
+	// request — compute once and share (critical once the remote tier
+	// widens the window between miss and put).
+	var hits, misses, coalesced atomic.Int64
+	if len(units) > 0 {
+		co, _ := inc.st.(store.ComputeCoalescer)
 		var wg sync.WaitGroup
 		ch := make(chan int)
 		for w := 0; w < workers; w++ {
@@ -152,17 +151,48 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 				for u := range ch {
 					un := units[u]
 					f := inc.cb.Files[un.file]
-					perFunc[u] = engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
-					// A timed-out result depends on wall-clock speed, not
-					// just the key's inputs — caching it would poison
-					// later scans.
-					if cacheable && !perFunc[u].TimedOut {
-						inc.st.Put(keys[u], perFunc[u])
+					if opts.canceled() {
+						// The scan was aborted: mark the remaining units
+						// canceled without probing, analyzing, or caching
+						// them — a disconnected client stops paying even
+						// for cache lookups.
+						perFunc[u] = &engine.Result{Truncated: true, Canceled: true}
+						continue
+					}
+					if !cacheable {
+						perFunc[u] = engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
+						continue
+					}
+					if r, ok := inc.st.Get(keys[u]); ok {
+						perFunc[u] = r
+						hits.Add(1)
+						continue
+					}
+					misses.Add(1)
+					// A timed-out or canceled result depends on wall-clock
+					// speed or the caller's lifetime, not just the key's
+					// inputs — caching it would poison later scans.
+					compute := func() (*engine.Result, bool) {
+						r := engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
+						return r, !r.TimedOut && !r.Canceled
+					}
+					if co != nil {
+						r, shared := co.GetOrCompute(keys[u], compute)
+						perFunc[u] = r
+						if shared {
+							coalesced.Add(1)
+						}
+						continue
+					}
+					r, ok := compute()
+					perFunc[u] = r
+					if ok {
+						inc.st.Put(keys[u], r)
 					}
 				}
 			}()
 		}
-		for _, u := range misses {
+		for u := range units {
 			ch <- u
 		}
 		close(ch)
@@ -175,12 +205,16 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	// order — byte-identical to the uncached Codebase.Run path.
 	out := &Result{FilesScanned: len(files)}
 	if cacheable {
-		out.CacheHits = hits
-		out.CacheMisses = len(misses)
+		out.CacheHits = int(hits.Load())
+		out.CacheMisses = int(misses.Load())
+		out.CacheCoalesced = int(coalesced.Load())
 	}
-	for _, u := range misses {
-		if perFunc[u].TimedOut {
+	for _, r := range perFunc {
+		if r.TimedOut {
 			out.FuncsTimedOut++
+		}
+		if r.Canceled {
+			out.Canceled = true
 		}
 	}
 	u := 0

@@ -10,6 +10,7 @@
 package scan
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -158,6 +159,13 @@ type Options struct {
 	// request. Functions over budget yield truncated, uncacheable
 	// results counted in Result.FuncsTimedOut.
 	FuncTimeout time.Duration
+	// Context, when non-nil, aborts the scan early on cancellation:
+	// remaining functions are skipped, in-flight ones unwind at the
+	// engine's amortized check points, and the result comes back flagged
+	// Canceled. Canceled per-function results are never cached, so an
+	// aborted scan leaves no wrong entries behind — kserve uses this to
+	// stop paying for scans whose client already disconnected.
+	Context context.Context
 	// Engine passes through per-function analysis options.
 	Engine engine.Options
 }
@@ -169,7 +177,15 @@ func (o Options) engineOptions(checkers []checker.Checker) engine.Options {
 	if o.FuncTimeout > 0 {
 		eo.Timeout = o.FuncTimeout
 	}
+	if o.Context != nil {
+		eo.Ctx = o.Context
+	}
 	return eo
+}
+
+// canceled reports whether the scan's context (if any) is done.
+func (o Options) canceled() bool {
+	return o.Context != nil && o.Context.Err() != nil
 }
 
 // Result of a corpus scan.
@@ -183,11 +199,18 @@ type Result struct {
 	// per-function timeout budget (function-level scheduler only; the
 	// file-level Codebase.Run lacks per-function granularity).
 	FuncsTimedOut int
+	// Canceled marks a scan aborted by Options.Context: some functions
+	// were skipped or cut short, and none of those were cached.
+	Canceled bool
 	// CacheHits and CacheMisses count per-function cache outcomes for
 	// incremental scans (both zero for uncached Codebase.Run scans and
 	// for uncacheable checker batches).
 	CacheHits   int
 	CacheMisses int
+	// CacheCoalesced counts misses that were served by another in-flight
+	// computation of the same key instead of analyzing here (stores
+	// wrapped in store.NewCoalesced only). Always <= CacheMisses.
+	CacheCoalesced int
 	// Elapsed is this scan's own wall time — for RunBatch entries, the
 	// individual checker's cost, not the whole batch's.
 	Elapsed time.Duration

@@ -1,0 +1,133 @@
+package store
+
+import (
+	"sync"
+
+	"knighter/internal/engine"
+)
+
+// ComputeCoalescer is the optional Store extension the incremental
+// scheduler uses to collapse duplicate in-flight computations: N
+// concurrent misses on one key run the analysis once and share the
+// result. It matters most once a network tier widens the miss window —
+// with a remote round-trip between "miss" and "put", a popular key can
+// easily have many identical computations racing.
+type ComputeCoalescer interface {
+	Store
+	// GetOrCompute returns the cached result for k, or runs compute to
+	// produce it. compute returns the result and whether it is cacheable
+	// (timed-out or canceled results are not). The second return reports
+	// whether the result was shared from another caller's in-flight
+	// computation rather than computed (or fetched) by this one.
+	GetOrCompute(k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool)
+}
+
+// Coalesced wraps a Store with singleflight coalescing. Get, Put, Stats,
+// and invalidation forward to the wrapped tier unchanged; GetOrCompute
+// adds the flight table.
+type Coalesced struct {
+	st Store
+
+	mu        sync.Mutex
+	flights   map[string]*flight
+	coalesced int64
+}
+
+// flight is one in-progress computation. res holds a private clone of
+// the leader's result once done is closed; followers clone from it, so
+// no caller's mutations can reach another caller.
+type flight struct {
+	done      chan struct{}
+	res       *engine.Result
+	cacheable bool
+}
+
+// NewCoalesced wraps st with a flight table.
+func NewCoalesced(st Store) *Coalesced {
+	return &Coalesced{st: st, flights: map[string]*flight{}}
+}
+
+// Inner returns the wrapped store.
+func (c *Coalesced) Inner() Store { return c.st }
+
+// Get implements Store.
+func (c *Coalesced) Get(k Key) (*engine.Result, bool) { return c.st.Get(k) }
+
+// Put implements Store.
+func (c *Coalesced) Put(k Key, r *engine.Result) { c.st.Put(k, r) }
+
+// Stats implements Store: the wrapped tier's counters plus the number of
+// computations saved by coalescing.
+func (c *Coalesced) Stats() Stats {
+	s := c.st.Stats()
+	c.mu.Lock()
+	s.Coalesced = c.coalesced
+	c.mu.Unlock()
+	return s
+}
+
+// GetOrCompute implements ComputeCoalescer.
+func (c *Coalesced) GetOrCompute(k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool) {
+	id := k.ID()
+	c.mu.Lock()
+	if fl, ok := c.flights[id]; ok {
+		c.mu.Unlock()
+		<-fl.done
+		if fl.cacheable {
+			c.mu.Lock()
+			c.coalesced++
+			c.mu.Unlock()
+			return fl.res.Clone(), true
+		}
+		// The leader's result was uncacheable — truncated by ITS wall
+		// clock or context, not ours. Sharing it would spread one
+		// caller's timeout to every coalesced sibling, so compute our
+		// own.
+		res, cacheable := compute()
+		if cacheable {
+			c.st.Put(k, res)
+		}
+		return res, false
+	}
+	fl := &flight{done: make(chan struct{})}
+	c.flights[id] = fl
+	c.mu.Unlock()
+
+	finish := func(res *engine.Result, cacheable bool) {
+		fl.res, fl.cacheable = res.Clone(), cacheable
+		c.mu.Lock()
+		delete(c.flights, id)
+		c.mu.Unlock()
+		close(fl.done)
+	}
+
+	// Leader. Deliberately NO re-check of the store here: between the
+	// caller's miss and this call another flight may have completed and
+	// published, but probing for that would cost a remote round-trip on
+	// every ordinary miss (the common case) to save a duplicate
+	// computation in a rare race — and the duplicate is harmless, since
+	// both compute identical bytes and Put is write-through.
+	//
+	// Followers are released BEFORE the write-through publish: with a
+	// remote tier the Put is a network round-trip, and coalesced callers
+	// only need the bytes, not the publication. A same-key flight that
+	// starts during our Put recomputes rather than waits — rare, and
+	// identical bytes either way.
+	res, cacheable := compute()
+	finish(res, cacheable)
+	if cacheable {
+		c.st.Put(k, res)
+	}
+	return res, false
+}
+
+// InvalidateFunc implements Invalidator by forwarding.
+func (c *Coalesced) InvalidateFunc(funcHash string) int {
+	return c.InvalidateFuncs([]string{funcHash})
+}
+
+// InvalidateFuncs implements BulkInvalidator by forwarding (with the
+// same per-hash fallback Tiered applies).
+func (c *Coalesced) InvalidateFuncs(funcHashes []string) int {
+	return invalidateAll(c.st, funcHashes)
+}

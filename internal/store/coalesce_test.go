@@ -1,0 +1,159 @@
+package store
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"knighter/internal/engine"
+)
+
+// TestCoalescedComputesOnce: N concurrent misses on one key run the
+// computation once; everyone gets an equivalent result.
+func TestCoalescedComputesOnce(t *testing.T) {
+	c := NewCoalesced(NewMemory(0))
+	const waiters = 16
+	var computes atomic.Int64
+	gate := make(chan struct{})
+	ready := make(chan struct{}, waiters)
+
+	var wg sync.WaitGroup
+	results := make([]*engine.Result, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, _ := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+				ready <- struct{}{}
+				<-gate // hold the flight open until every goroutine launched
+				computes.Add(1)
+				return result("shared"), true
+			})
+			results[i] = res
+		}(i)
+	}
+	<-ready // one leader is inside compute
+	time.Sleep(10 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+
+	// Every goroutine that called while the flight was open joined it;
+	// at most the stragglers that arrived after the leader finished can
+	// have computed their own. The invariant worth pinning: far fewer
+	// computations than callers, identical results for all, and real
+	// coalescing counted.
+	if n := computes.Load(); n >= waiters/2 {
+		t.Fatalf("%d computations for %d concurrent callers", n, waiters)
+	}
+	for i, res := range results {
+		if res == nil || len(res.Reports) != 1 || res.Reports[0].Message != "shared" {
+			t.Fatalf("caller %d got %+v", i, res)
+		}
+	}
+	if st := c.Stats(); st.Coalesced == 0 {
+		t.Fatalf("no coalescing counted: %+v", st)
+	}
+}
+
+// TestCoalescedSharedResultsAreIndependent: callers mutating their
+// copies must not corrupt the cached entry or each other.
+func TestCoalescedSharedResultsAreIndependent(t *testing.T) {
+	c := NewCoalesced(NewMemory(0))
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	var leaderRes, followerRes *engine.Result
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		leaderRes, _ = c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+			close(leaderIn)
+			<-gate
+			return result("shared"), true
+		})
+	}()
+	go func() {
+		defer wg.Done()
+		<-leaderIn
+		followerRes, _ = c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+			// Runs only if this goroutine lost the race and arrived
+			// after the leader finished; the assertions hold either way.
+			return result("shared"), true
+		})
+	}()
+	<-leaderIn
+	time.Sleep(10 * time.Millisecond) // let the follower join the flight
+	close(gate)
+	wg.Wait()
+
+	if leaderRes == nil || followerRes == nil {
+		t.Fatal("nil results")
+	}
+	leaderRes.Reports[0] = nil
+	followerRes.Reports[0] = nil
+	if got, ok := c.Get(key(1)); !ok || len(got.Reports) != 1 || got.Reports[0] == nil {
+		t.Fatal("caller mutation reached the cached entry")
+	}
+}
+
+// TestCoalescedUncacheableNotShared: a timed-out leader result is
+// private to the leader — followers compute their own, and only clean
+// results are cached.
+func TestCoalescedUncacheableNotShared(t *testing.T) {
+	c := NewCoalesced(NewMemory(0))
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		res, _ := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+			close(leaderIn)
+			<-gate
+			return &engine.Result{Truncated: true, TimedOut: true}, false
+		})
+		if !res.TimedOut {
+			t.Error("leader's own result altered")
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		<-leaderIn
+		res, shared := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+			return result("mine"), true
+		})
+		if shared {
+			t.Error("uncacheable leader result was shared")
+		}
+		if res.TimedOut || len(res.Reports) != 1 || res.Reports[0].Message != "mine" {
+			t.Errorf("follower got %+v", res)
+		}
+	}()
+	<-leaderIn
+	time.Sleep(10 * time.Millisecond) // let the follower join the flight
+	close(gate)
+	wg.Wait()
+
+	// The follower's (cacheable) result IS cached; the leader's is not.
+	if got, ok := c.Get(key(1)); !ok || got.TimedOut {
+		t.Fatalf("cached entry = %+v, %v; want the follower's clean result", got, ok)
+	}
+}
+
+// TestCoalescedForwardsInvalidation: the wrapper is transparent to the
+// invalidation path.
+func TestCoalescedForwardsInvalidation(t *testing.T) {
+	c := NewCoalesced(NewMemory(0))
+	c.Put(fkey("fA", "ck1"), result("a1"))
+	c.Put(fkey("fA", "ck2"), result("a2"))
+	c.Put(fkey("fB", "ck1"), result("b1"))
+	if n := c.InvalidateFuncs([]string{"fA"}); n != 2 {
+		t.Fatalf("invalidated %d, want 2", n)
+	}
+	if _, ok := c.Get(fkey("fB", "ck1")); !ok {
+		t.Fatal("unrelated entry dropped")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
@@ -19,7 +20,10 @@ import (
 // are treated as cache misses — the disk tier is best-effort by design.
 type Disk struct {
 	dir string
-	mu  sync.Mutex
+	// maxBytes is the GC byte budget (0 = unbounded): past it, GC evicts
+	// oldest-first until the tier fits again.
+	maxBytes int64
+	mu       sync.Mutex
 	// entries and bytes mirror the on-disk state so Stats never walks
 	// the tree (a saturated daemon's /stats poll must not pay one
 	// os.Stat per cache entry). They are initialized by a one-time walk
@@ -31,13 +35,28 @@ type Disk struct {
 	stats   Stats
 }
 
+// DiskOption configures NewDisk.
+type DiskOption func(*Disk)
+
+// DiskMaxBytes sets a byte budget for the tier: GC sweeps evict entries
+// oldest-first (by modification time) until the tier fits, counting them
+// as Evictions — the disk analog of the memory tier's LRU bound, at GC
+// granularity rather than per-Put. Non-positive = unbounded.
+func DiskMaxBytes(n int64) DiskOption {
+	return func(d *Disk) {
+		if n > 0 {
+			d.maxBytes = n
+		}
+	}
+}
+
 // NewDisk returns a disk store rooted at dir, creating it if needed.
 // Entries written by the pre-sharding layout (top-level <id>.json files)
 // are unreachable under the sharded scheme, so they are removed here —
 // otherwise they would sit as permanent garbage that even GC never
 // visits. Pre-existing sharded entries are walked once to seed the
 // entry/byte counters.
-func NewDisk(dir string) (*Disk, error) {
+func NewDisk(dir string, opts ...DiskOption) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
 	}
@@ -47,6 +66,9 @@ func NewDisk(dir string) (*Disk, error) {
 		}
 	}
 	d := &Disk{dir: dir}
+	for _, opt := range opts {
+		opt(d)
+	}
 	d.entries, d.bytes = d.walk()
 	return d, nil
 }
@@ -181,16 +203,33 @@ func (d *Disk) InvalidateFuncs(funcHashes []string) int {
 	return n
 }
 
-// GC removes entries older than maxAge (by modification time) and prunes
-// emptied shard directories. It returns the number of entries removed.
-// A non-positive maxAge is a no-op: the disk tier keeps everything.
+// gcEntry is one live entry seen by a GC sweep: a byte-budget eviction
+// candidate.
+type gcEntry struct {
+	path    string
+	size    int64
+	modTime time.Time
+}
+
+// GC removes entries older than maxAge (by modification time), then — if
+// the tier was built with DiskMaxBytes and still exceeds its budget —
+// evicts surviving entries oldest-first until it fits. Emptied shard
+// directories are pruned. It returns the total number of entries
+// removed. With maxAge <= 0 and no byte budget it is a no-op: the disk
+// tier keeps everything.
 func (d *Disk) GC(maxAge time.Duration) (int, error) {
-	if maxAge <= 0 {
+	if maxAge <= 0 && d.maxBytes <= 0 {
 		return 0, nil
 	}
-	cutoff := time.Now().Add(-maxAge)
-	removed := 0
-	removedBytes := int64(0)
+	var cutoff time.Time
+	if maxAge > 0 {
+		cutoff = time.Now().Add(-maxAge)
+	}
+	expired := 0
+	expiredBytes := int64(0)
+	var live []gcEntry
+	liveBytes := int64(0)
+	liveByShard := map[string]int{}
 	shards, err := os.ReadDir(d.dir)
 	if err != nil {
 		return 0, err
@@ -204,38 +243,96 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 		if err != nil {
 			continue
 		}
-		live := 0
+		liveByShard[fdir] = 0
 		for _, e := range entries {
 			p := filepath.Join(fdir, e.Name())
 			info, err := e.Info()
 			if err != nil {
 				continue
 			}
-			if info.ModTime().Before(cutoff) {
+			if !cutoff.IsZero() && info.ModTime().Before(cutoff) {
 				if os.Remove(p) == nil {
-					removed++
-					removedBytes += info.Size()
+					expired++
+					expiredBytes += info.Size()
 					continue
 				}
 			}
-			live++
+			// The per-entry snapshot exists only for the budget pass; a
+			// TTL-only tier keeps the sweep at one int per shard.
+			if d.maxBytes > 0 {
+				live = append(live, gcEntry{path: p, size: info.Size(), modTime: info.ModTime()})
+				liveBytes += info.Size()
+			}
+			liveByShard[fdir]++
 		}
-		if live == 0 {
+	}
+
+	// Budget pass over the sweep's own snapshot of the surviving
+	// entries: oldest-first, so the eviction order is the disk analog of
+	// LRU (a Get does not touch mtime, but a re-Put of a hot key does).
+	evicted := 0
+	evictedBytes := int64(0)
+	if d.maxBytes > 0 && liveBytes > d.maxBytes {
+		sort.Slice(live, func(i, j int) bool { return live[i].modTime.Before(live[j].modTime) })
+		for _, e := range live {
+			if liveBytes <= d.maxBytes {
+				break
+			}
+			if os.Remove(e.path) == nil {
+				evicted++
+				evictedBytes += e.size
+				liveBytes -= e.size
+				liveByShard[filepath.Dir(e.path)]--
+			}
+		}
+	}
+	for fdir, n := range liveByShard {
+		if n == 0 {
 			os.Remove(fdir) // fails harmlessly if a Put raced in
 		}
 	}
+
 	// Counters move by exactly what this sweep removed — a delta, like
 	// Put and InvalidateFunc apply, never a snapshot: the sweep runs
 	// without the lock, so a snapshot of "what I saw" could erase a
-	// racing Put's contribution.
-	if removed > 0 {
+	// racing Put's contribution. Expired and Evictions stay split: TTL
+	// removals age out, budget removals are pressure.
+	if expired+evicted > 0 {
 		d.mu.Lock()
-		d.stats.Expired += int64(removed)
-		d.entries -= removed
-		d.bytes -= removedBytes
+		d.stats.Expired += int64(expired)
+		d.stats.Evictions += int64(evicted)
+		d.entries -= expired + evicted
+		d.bytes -= expiredBytes + evictedBytes
 		d.mu.Unlock()
 	}
-	return removed, nil
+	return expired + evicted, nil
+}
+
+// StartGCLoop sweeps the tier forever in a background goroutine,
+// dropping entries older than ttl and enforcing the byte budget (if
+// any). Sweeps run every ttl/4 clamped to [1m, 15m]; a pure byte budget
+// with no TTL sweeps every minute. onSweep, when non-nil, observes each
+// sweep's outcome — both daemons hook their logging and counters there.
+func (d *Disk) StartGCLoop(ttl time.Duration, onSweep func(removed int, err error)) {
+	every := time.Minute
+	if ttl > 0 {
+		every = ttl / 4
+		if every < time.Minute {
+			every = time.Minute
+		}
+		if every > 15*time.Minute {
+			every = 15 * time.Minute
+		}
+	}
+	go func() {
+		for {
+			n, err := d.GC(ttl)
+			if onSweep != nil {
+				onSweep(n, err)
+			}
+			time.Sleep(every)
+		}
+	}()
 }
 
 // Stats implements Store. Entries and Bytes come from the maintained

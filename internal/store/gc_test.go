@@ -238,3 +238,108 @@ func TestTieredBulkInvalidateForwardsToBothTiers(t *testing.T) {
 		t.Fatal("unrelated entry dropped")
 	}
 }
+
+// TestDiskByteBudgetEvictsOldestFirst: past DiskMaxBytes, GC removes
+// entries in modification-time order until the tier fits, counting them
+// as Evictions (not Expired — that split is the TTL path's).
+func TestDiskByteBudgetEvictsOldestFirst(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Put(fkey("probe", "ck"), result("mm"))
+	entrySize := probe.Stats().Bytes
+	probe.InvalidateFunc("probe")
+
+	// Budget for two entries; store four (equal-size payloads).
+	d, err := NewDisk(dir, DiskMaxBytes(2*entrySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashes := []string{"f1", "f2", "f3", "f4"}
+	for i, fh := range hashes {
+		d.Put(fkey(fh, "ck"), result("mm"))
+		// Distinct, strictly increasing mtimes: f1 oldest, f4 newest.
+		when := time.Now().Add(time.Duration(i-10) * time.Hour)
+		if err := os.Chtimes(d.path(fkey(fh, "ck")), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	removed, err := d.GC(0) // no TTL: pure budget pass
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("GC removed %d entries, want 2", removed)
+	}
+	for _, fh := range []string{"f1", "f2"} {
+		if _, ok := d.Get(fkey(fh, "ck")); ok {
+			t.Fatalf("oldest entry %s survived budget eviction", fh)
+		}
+	}
+	for _, fh := range []string{"f3", "f4"} {
+		if _, ok := d.Get(fkey(fh, "ck")); !ok {
+			t.Fatalf("newest entry %s evicted before older ones", fh)
+		}
+	}
+	s := d.Stats()
+	if s.Evictions != 2 || s.Expired != 0 {
+		t.Fatalf("stats = %+v, want Evictions=2 Expired=0", s)
+	}
+	if s.Entries != 2 || s.Bytes != 2*entrySize {
+		t.Fatalf("stats = %+v, want 2 entries / %d bytes", s, 2*entrySize)
+	}
+	// Counters agree with the disk after the eviction pass.
+	if we, wb := d.walk(); s.Entries != we || s.Bytes != wb {
+		t.Fatalf("counters %+v disagree with walk (%d entries, %d bytes)", s, we, wb)
+	}
+	// Under budget: the next sweep is a no-op.
+	if n, err := d.GC(0); n != 0 || err != nil {
+		t.Fatalf("GC under budget = %d, %v; want no-op", n, err)
+	}
+}
+
+// TestDiskGCSplitsExpiredAndEvicted: one sweep applying both the TTL and
+// the byte budget keeps the two counters separate.
+func TestDiskGCSplitsExpiredAndEvicted(t *testing.T) {
+	dir := t.TempDir()
+	probe, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe.Put(fkey("probe", "ck"), result("mm"))
+	entrySize := probe.Stats().Bytes
+	probe.InvalidateFunc("probe")
+
+	d, err := NewDisk(dir, DiskMaxBytes(entrySize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// fExpired: beyond the TTL. fOld, fNew: live but over budget
+	// together, so the older of the two is evicted.
+	for fh, age := range map[string]time.Duration{
+		"fExpired": 3 * time.Hour, "fOld": 30 * time.Minute, "fNew": time.Minute,
+	} {
+		d.Put(fkey(fh, "ck"), result("mm"))
+		when := time.Now().Add(-age)
+		if err := os.Chtimes(d.path(fkey(fh, "ck")), when, when); err != nil {
+			t.Fatal(err)
+		}
+	}
+	removed, err := d.GC(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if removed != 2 {
+		t.Fatalf("GC removed %d entries, want 2", removed)
+	}
+	s := d.Stats()
+	if s.Expired != 1 || s.Evictions != 1 || s.Entries != 1 {
+		t.Fatalf("stats = %+v, want Expired=1 Evictions=1 Entries=1", s)
+	}
+	if _, ok := d.Get(fkey("fNew", "ck")); !ok {
+		t.Fatal("newest entry did not survive the combined sweep")
+	}
+}

@@ -60,8 +60,12 @@ type Stats struct {
 	// Invalidated counts entries dropped by InvalidateFunc (corpus
 	// mutation made their function hash unreachable).
 	Invalidated int64 `json:"invalidated"`
-	// Expired counts disk entries removed by TTL garbage collection.
+	// Expired counts disk entries removed by TTL garbage collection
+	// (budget evictions count under Evictions instead).
 	Expired int64 `json:"expired"`
+	// Coalesced counts computations saved by in-flight coalescing (the
+	// Coalesced tier only).
+	Coalesced int64 `json:"coalesced"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -84,6 +88,7 @@ func (s Stats) Add(other Stats) Stats {
 	s.Bytes += other.Bytes
 	s.Invalidated += other.Invalidated
 	s.Expired += other.Expired
+	s.Coalesced += other.Coalesced
 	return s
 }
 
@@ -121,4 +126,21 @@ type BulkInvalidator interface {
 	// InvalidateFuncs removes every entry addressed by any of the given
 	// function hashes, returning the total number of entries dropped.
 	InvalidateFuncs(funcHashes []string) int
+}
+
+// invalidateAll forwards a hash set to st through its widest supported
+// invalidation interface: the bulk path when available, per-hash
+// otherwise, and zero for tiers without invalidation.
+func invalidateAll(st Store, funcHashes []string) int {
+	switch inv := st.(type) {
+	case BulkInvalidator:
+		return inv.InvalidateFuncs(funcHashes)
+	case Invalidator:
+		n := 0
+		for _, fh := range funcHashes {
+			n += inv.InvalidateFunc(fh)
+		}
+		return n
+	}
+	return 0
 }

@@ -76,18 +76,7 @@ func (t *Tiered) InvalidateFunc(funcHash string) int {
 // without a bulk path), so a changeset's orphan set costs one pass per
 // tier.
 func (t *Tiered) InvalidateFuncs(funcHashes []string) int {
-	n := 0
-	for _, tier := range []Store{t.front, t.back} {
-		switch inv := tier.(type) {
-		case BulkInvalidator:
-			n += inv.InvalidateFuncs(funcHashes)
-		case Invalidator:
-			for _, fh := range funcHashes {
-				n += inv.InvalidateFunc(fh)
-			}
-		}
-	}
-	return n
+	return invalidateAll(t.front, funcHashes) + invalidateAll(t.back, funcHashes)
 }
 
 // TierStats exposes the per-tier snapshots (front, back) for
