@@ -10,10 +10,12 @@
 package knighter
 
 import (
+	"context"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"knighter/internal/checker"
 	"knighter/internal/ckdsl"
@@ -22,6 +24,7 @@ import (
 	"knighter/internal/kernel"
 	"knighter/internal/llm"
 	"knighter/internal/minic"
+	"knighter/internal/obs"
 	"knighter/internal/scan"
 	"knighter/internal/smatch"
 	"knighter/internal/store"
@@ -442,6 +445,42 @@ func BenchmarkScanWarmCache(b *testing.B) {
 	}
 	b.ReportMetric(float64(res.CacheHits), "cache-hits")
 }
+
+// BenchmarkScanWarmInstrumented is BenchmarkScanWarmCache with the full
+// observability stack kserve wires at boot: instrumented memory tier,
+// instrumented coalescing wrapper, stage observer, and a per-request
+// trace recording the span timeline. The delta to BenchmarkScanWarmCache
+// is the total metrics + tracing overhead on the hot warm-scan path —
+// the observability layer budgets it at <= ~5%.
+func BenchmarkScanWarmInstrumented(b *testing.B) {
+	h, _, _ := setupBench(b)
+	ck := mustChecker(b, benchCacheDSL)
+	reg := obs.NewRegistry("kserve")
+	st := store.Instrument(reg, "coalesced",
+		store.NewCoalesced(store.Instrument(reg, "memory", store.NewMemory(0)).SampleLatency(4)),
+	).SampleLatency(4)
+	inc := scan.NewIncremental(h.Codebase, st)
+	stageDur := reg.HistogramVec("scan_stage_duration_seconds", "bench", nil, "stage")
+	inc.SetStageObserver(stageObserverFunc(func(stage string, d time.Duration) {
+		stageDur.With(stage).Observe(d.Seconds())
+	}))
+	inc.RunOne(ck, scan.Options{}) // warm every entry
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		ctx := obs.WithTrace(context.Background(), obs.NewTrace(""))
+		res = inc.RunOne(ck, scan.Options{Context: ctx})
+	}
+	if res.CacheMisses != 0 {
+		b.Fatalf("warm scan missed %d times", res.CacheMisses)
+	}
+	b.ReportMetric(float64(res.CacheHits), "cache-hits")
+}
+
+// stageObserverFunc adapts a function to scan.StageObserver.
+type stageObserverFunc func(stage string, d time.Duration)
+
+func (f stageObserverFunc) ObserveStage(stage string, d time.Duration) { f(stage, d) }
 
 // BenchmarkScanWarmRemote measures the fleet steady state: a fresh
 // replica (empty memory tier) whose every lookup is answered by an

@@ -18,6 +18,7 @@
 //
 //	kcached -cache-dir /var/cache/kcached
 //	kcached -addr :8322 -cache-ttl 72h -cache-max-bytes 1073741824
+//	kcached -cache-dir /var/cache/kcached -pprof-addr localhost:6061
 //
 // Endpoints:
 //
@@ -25,16 +26,28 @@
 //	PUT  /entry/{id}?fh=&ck=&eng=   store a result (204)
 //	POST /invalidate                {"func_hashes": [...]}
 //	GET  /stats                     store + request counters
+//	GET  /metrics                   Prometheus text exposition
 //	GET  /healthz                   liveness
+//
+// Every request is access-logged with its X-Trace-Id (when the client —
+// a kserve replica's remote tier — sent one), so one trace id greps
+// across both daemons' logs.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
+	"knighter/internal/obs"
 	"knighter/internal/store"
 )
 
@@ -43,8 +56,15 @@ func main() {
 	cacheDir := flag.String("cache-dir", "", "cache directory (required)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "drop entries older than this (0 = keep forever)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "byte budget; GC evicts oldest-first past it (0 = unbounded)")
+	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6061); never exposed on the main port")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
 
+	if *showVersion {
+		v, gv := obs.BuildVersion()
+		fmt.Printf("kcached %s (%s)\n", v, gv)
+		return
+	}
 	if *cacheDir == "" {
 		fmt.Fprintln(os.Stderr, "kcached: -cache-dir is required")
 		os.Exit(2)
@@ -58,16 +78,71 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kcached:", err)
 		os.Exit(1)
 	}
+	// The daemon's store is the instrumented disk tier: kcached's
+	// /metrics carries the same store_* families as kserve's, under the
+	// kcached namespace with tier="disk".
+	reg := obs.NewRegistry("kcached")
+	gcSweep := reg.Histogram("gc_sweep_duration_seconds",
+		"Wall time of one GC sweep over the backing store.", nil)
+	cs := store.NewCacheServer(store.Instrument(reg, "disk", disk))
+	cs.Register(reg)
 	if *cacheTTL > 0 || *cacheMaxBytes > 0 {
-		disk.StartGCLoop(*cacheTTL, func(n int, err error) {
+		disk.StartGCLoop(*cacheTTL, func(n int, dur time.Duration, err error) {
+			gcSweep.Observe(dur.Seconds())
 			if err != nil {
 				log.Printf("kcached: GC: %v", err)
 			} else if n > 0 {
-				log.Printf("kcached: GC removed %d entries", n)
+				log.Printf("kcached: GC removed %d entries in %s", n, dur)
 			}
 		})
 	}
+	if *pprofAddr != "" {
+		startPprof(*pprofAddr)
+	}
+
+	// Graceful shutdown: SIGTERM/SIGINT stops the listener, in-flight
+	// entry requests drain (bounded), and the final store shape goes to
+	// the log — a fleet roll never truncates a PUT mid-body.
+	hs := &http.Server{Addr: *addr, Handler: store.AccessLog(log.Default(), cs.Handler())}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
 	st := disk.Stats()
-	log.Printf("kcached: serving %s (%d entries, %d bytes) on %s", *cacheDir, st.Entries, st.Bytes, *addr)
-	log.Fatal(http.ListenAndServe(*addr, store.NewCacheServer(disk).Handler()))
+	version, goVersion := obs.BuildVersion()
+	log.Printf("kcached: %s (%s) serving %s (%d entries, %d bytes) on %s",
+		version, goVersion, *cacheDir, st.Entries, st.Bytes, *addr)
+	select {
+	case err := <-errCh:
+		log.Fatal("kcached: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("kcached: shutdown signal; draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("kcached: shutdown: %v", err)
+		}
+		st := disk.Stats()
+		log.Printf("kcached: final stats: entries=%d bytes=%d hits=%d misses=%d hit_rate=%.3f",
+			st.Entries, st.Bytes, st.Hits, st.Misses, st.HitRate())
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener — never the main
+// port, so profiling endpoints are reachable only where the operator
+// points them (typically localhost).
+func startPprof(addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("kcached: pprof on %s", addr)
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("kcached: pprof: %v", err)
+		}
+	}()
 }

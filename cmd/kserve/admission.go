@@ -6,6 +6,9 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"knighter/internal/obs"
 )
 
 // admission is the bounded two-stage gate in front of the scan-shaped
@@ -41,6 +44,32 @@ type admission struct {
 	// removed at zero so the map tracks only currently-queued clients.
 	cmu            sync.Mutex
 	queuedByClient map[string]int64
+
+	// waitDur, when set by register, observes how long each admitted
+	// request waited for an inflight slot (fast-path admissions count as
+	// zero, so the distribution reflects what clients actually see).
+	waitDur *obs.Histogram
+}
+
+// register exposes the gate on /metrics: instantaneous queue depth and
+// inflight gauges, cumulative admitted/shed counters, and the
+// queue-wait histogram. Nil-safe so ungated daemons skip it.
+func (a *admission) register(reg *obs.Registry) {
+	if a == nil {
+		return
+	}
+	reg.GaugeFunc("admission_queue_depth", "Requests currently waiting for an inflight slot.",
+		func() float64 { return float64(a.queued.Load()) })
+	reg.GaugeFunc("admission_inflight", "Requests currently executing behind the gate.",
+		func() float64 { return float64(a.inflight.Load()) })
+	reg.CounterFunc("admission_admitted_total", "Requests admitted through the gate.",
+		func() float64 { return float64(a.admitted.Load()) })
+	reg.CounterFunc("admission_shed_total", "Requests shed with 429 (queue full or per-client bound).",
+		func() float64 { return float64(a.shed.Load()) })
+	reg.CounterFunc("admission_fairness_shed_total", "Sheds caused by the per-client bound alone.",
+		func() float64 { return float64(a.fairShed.Load()) })
+	a.waitDur = reg.Histogram("admission_wait_seconds",
+		"Queue wait of each admitted request; fast-path admissions observe zero.", nil)
 }
 
 // newAdmission returns a gate admitting maxInflight concurrent requests
@@ -129,6 +158,9 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 		select {
 		case a.tokens <- struct{}{}:
 			// Fast path: a slot was free.
+			if a.waitDur != nil {
+				a.waitDur.Observe(0)
+			}
 		default:
 			key := clientKey(r)
 			// The global bound is checked first so FairnessShed keeps its
@@ -146,10 +178,19 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 				a.shedRequest(w, "per-client queue bound reached; retry after the indicated delay")
 				return
 			}
+			waitStart := time.Now()
 			select {
 			case a.tokens <- struct{}{}:
 				a.queued.Add(-1)
 				a.clientDequeue(key)
+				wait := time.Since(waitStart)
+				if a.waitDur != nil {
+					a.waitDur.Observe(wait.Seconds())
+				}
+				// Queue wait lands in the request's trace timeline, so a
+				// slow-request report distinguishes "the daemon was
+				// saturated" from "the scan itself was slow".
+				obs.TraceFrom(r.Context()).Observe("admission_wait", waitStart, wait, 1)
 			case <-r.Context().Done():
 				// The client gave up while queued; release the queue slot
 				// without ever taking an inflight one.

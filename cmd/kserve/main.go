@@ -39,19 +39,24 @@ package main
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"knighter/internal/checker"
 	"knighter/internal/ckdsl"
 	"knighter/internal/kernel"
+	"knighter/internal/obs"
 	"knighter/internal/scan"
 	"knighter/internal/store"
 )
@@ -70,7 +75,16 @@ func main() {
 	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent scan-shaped requests (0 = unlimited, no admission control)")
 	maxQueued := flag.Int("max-queued", 64, "max requests waiting for an inflight slot before shedding with 429")
 	maxQueuedPerClient := flag.Int("max-queued-per-client", 16, "max queued requests per client key (X-Client-ID header or remote address; 0 = unbounded)")
+	slowScan := flag.Duration("slow-scan", 0, "log a structured slow-request report (trace id + stage timeline) for requests slower than this (0 = off)")
+	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6060); never exposed on the main port")
+	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+
+	if *showVersion {
+		v, gv := obs.BuildVersion()
+		fmt.Printf("kserve %s (%s)\n", v, gv)
+		return
+	}
 
 	corpus := kernel.Generate(kernel.Config{Seed: *seed, Scale: *scale})
 	cb, err := scan.NewCodebase(corpus)
@@ -83,7 +97,10 @@ func main() {
 	// fleet before falling back to this replica's own disk, and every
 	// local computation is published for the siblings. The whole stack
 	// is wrapped in singleflight coalescing: identical concurrent misses
-	// (whose window the remote round-trip widens) compute once.
+	// (whose window the remote round-trip widens) compute once. Every
+	// tier is individually instrumented into the shared registry, so
+	// /metrics breaks hits, misses, and latency down by WHERE.
+	reg := obs.NewRegistry("kserve")
 	var disk *store.Disk
 	var remote *store.Remote
 	var back []store.Store
@@ -93,7 +110,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
 		}
-		back = append(back, asyncInvalidate{remote})
+		back = append(back, store.Instrument(reg, "remote", asyncInvalidate{remote}))
 	}
 	if *cacheDir != "" {
 		var opts []store.DiskOption
@@ -105,22 +122,27 @@ func main() {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
 		}
-		back = append(back, disk)
+		back = append(back, store.Instrument(reg, "disk", disk))
 	} else if *cacheMaxBytes > 0 {
 		log.Printf("kserve: -cache-max-bytes ignored without -cache-dir (the byte budget bounds the disk tier; use -cache-bytes for the memory tier)")
 	}
-	var st store.Store = store.NewMemory(*cacheBytes)
+	// The local tiers sample latency 1-in-16: a memory hit costs about
+	// as much as reading the clock, so full timing there would be the
+	// observability layer taxing the very path it exists to protect.
+	var st store.Store = store.Instrument(reg, "memory", store.NewMemory(*cacheBytes)).SampleLatency(4)
 	switch len(back) {
 	case 1:
 		st = store.NewTiered(st, back[0])
 	case 2:
 		st = store.NewTiered(st, store.NewTiered(back[0], back[1]))
 	}
-	st = store.NewCoalesced(st)
+	st = store.Instrument(reg, "coalesced", store.NewCoalesced(st)).SampleLatency(4)
 	srv := newServer(scan.NewIncremental(cb, st))
 	srv.remote = remote
 	srv.funcTimeout = *funcTimeout
+	srv.slowScan = *slowScan
 	srv.adm = newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient)
+	srv.registerMetrics(reg)
 	if disk != nil && (*cacheTTL > 0 || *cacheMaxBytes > 0) {
 		srv.startDiskGC(disk, *cacheTTL)
 	}
@@ -130,8 +152,56 @@ func main() {
 	if srv.adm != nil {
 		log.Printf("kserve: admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
 	}
-	log.Printf("kserve: serving %d files / %d functions on %s", len(cb.Files), cb.NumFuncs(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, srv.routes()))
+	if *pprofAddr != "" {
+		startPprof("kserve", *pprofAddr)
+	}
+
+	// Graceful shutdown: SIGTERM/SIGINT stops the listener, in-flight
+	// requests drain (bounded), and the daemon logs its final counters —
+	// so a fleet roll never truncates a scan mid-response and the last
+	// cache numbers survive in the log.
+	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	version, goVersion := obs.BuildVersion()
+	log.Printf("kserve: %s (%s) serving %d files / %d functions on %s",
+		version, goVersion, len(cb.Files), cb.NumFuncs(), *addr)
+	select {
+	case err := <-errCh:
+		log.Fatal("kserve: ", err)
+	case <-ctx.Done():
+		stop()
+		log.Printf("kserve: shutdown signal; draining in-flight requests")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := hs.Shutdown(sctx); err != nil {
+			log.Printf("kserve: shutdown: %v", err)
+		}
+		stats := srv.inc.Stats()
+		log.Printf("kserve: final stats: uptime=%.1fs scans=%d batches=%d reports=%d cache_hits=%d cache_misses=%d hit_rate=%.3f",
+			time.Since(srv.started).Seconds(), srv.scans.Load(), srv.batches.Load(),
+			srv.reportsServed.Load(), stats.Hits, stats.Misses, stats.HitRate())
+	}
+}
+
+// startPprof serves net/http/pprof on its own listener — never the main
+// port, so profiling endpoints are reachable only where the operator
+// points them (typically localhost).
+func startPprof(name, addr string) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	go func() {
+		log.Printf("%s: pprof on %s", name, addr)
+		if err := http.ListenAndServe(addr, mux); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("%s: pprof: %v", name, err)
+		}
+	}()
 }
 
 // server holds the warm codebase, the shared store, and service
@@ -147,6 +217,14 @@ type server struct {
 	// remote is the shared fleet cache tier, when -cache-remote is set;
 	// kept for /stats health reporting.
 	remote *store.Remote
+	// metrics is the /metrics instrumentation, nil until registerMetrics.
+	metrics *serverMetrics
+	// slowScan, when > 0, triggers the structured slow-request log line
+	// (trace id + stage timeline) for requests slower than it.
+	slowScan time.Duration
+	// accessLog overrides the destination of per-request log lines
+	// (tests inject one; nil = the process logger).
+	accessLog *log.Logger
 
 	// mu serializes corpus mutations against scans: /scan and /batch
 	// hold the read lock, /patch and /changeset the write lock — so a
@@ -194,12 +272,13 @@ func (a asyncInvalidate) InvalidateFuncs(funcHashes []string) int {
 // startDiskGC runs the store's GC loop over the disk tier, hooking the
 // server's counter and log line into each sweep.
 func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
-	disk.StartGCLoop(ttl, func(n int, err error) {
+	disk.StartGCLoop(ttl, func(n int, dur time.Duration, err error) {
+		s.observeGCSweep(dur)
 		if err != nil {
 			log.Printf("kserve: disk GC: %v", err)
 		} else if n > 0 {
 			s.gcRemoved.Add(int64(n))
-			log.Printf("kserve: disk GC removed %d entries", n)
+			log.Printf("kserve: disk GC removed %d entries in %s", n, dur)
 		}
 	})
 }
@@ -212,12 +291,22 @@ func (s *server) routes() http.Handler {
 	// every scan while itself never being shed. Only /stats and /healthz
 	// stay outside the gate: they must answer even when the daemon is
 	// saturated (that is when an operator needs them most).
-	mux.HandleFunc("/scan", s.adm.wrap(s.handleScan))
-	mux.HandleFunc("/batch", s.adm.wrap(s.handleBatch))
-	mux.HandleFunc("/changeset", s.adm.wrap(s.handleChangeset))
-	mux.HandleFunc("/patch", s.adm.wrap(s.handlePatch))
+	// withObs sits OUTSIDE the gate: the trace exists before the request
+	// queues (so admission_wait lands on the timeline) and the measured
+	// latency is what the client saw, queueing included.
+	mux.HandleFunc("/scan", s.withObs("scan", s.adm.wrap(s.handleScan)))
+	mux.HandleFunc("/batch", s.withObs("batch", s.adm.wrap(s.handleBatch)))
+	mux.HandleFunc("/changeset", s.withObs("changeset", s.adm.wrap(s.handleChangeset)))
+	mux.HandleFunc("/patch", s.withObs("patch", s.adm.wrap(s.handlePatch)))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if s.metrics == nil {
+			httpError(w, http.StatusNotFound, "metrics not registered")
+			return
+		}
+		s.metrics.reg.Handler().ServeHTTP(w, r)
+	})
 	return mux
 }
 
@@ -236,6 +325,10 @@ type scanRequest struct {
 	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
 	// IncludeTrace adds the per-report path trace to the response.
 	IncludeTrace bool `json:"include_trace,omitempty"`
+	// IncludeTiming adds the request's trace id and per-stage span
+	// timeline to the response — the same timeline the slow-request log
+	// prints, on demand.
+	IncludeTiming bool `json:"include_timing,omitempty"`
 }
 
 // reportJSON is one bug report on the wire.
@@ -289,6 +382,23 @@ type scanResponse struct {
 	TimedOut     int          `json:"funcs_timed_out,omitempty"`
 	Cache        cacheJSON    `json:"cache"`
 	ElapsedMS    float64      `json:"elapsed_ms"`
+	// TraceID and Timing are present when the request asked for
+	// include_timing: the request's trace id (echoed in the X-Trace-Id
+	// response header too) and its per-stage span timeline.
+	TraceID string     `json:"trace_id,omitempty"`
+	Timing  []obs.Span `json:"timing,omitempty"`
+}
+
+// attachTiming copies the request trace's id and span timeline into the
+// response when the client asked for it.
+func attachTiming(ctx context.Context, id *string, spans *[]obs.Span, want bool) {
+	if !want {
+		return
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		*id = tr.ID
+		*spans = tr.Spans()
+	}
 }
 
 func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool) *scanResponse {
@@ -395,10 +505,13 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	res := s.inc.RunFiles(files, []checker.Checker{ck},
 		s.scanOptions(r.Context(), req.MaxReports, req.Workers, req.FuncTimeoutMS))
 	s.scans.Add(1)
+	s.observeScan(res)
 	if res.Canceled {
 		s.scansCanceled.Add(1)
 	}
-	writeJSON(w, http.StatusOK, s.toScanResponse(ck.Name(), res, req.IncludeTrace))
+	resp := s.toScanResponse(ck.Name(), res, req.IncludeTrace)
+	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // batchRequest is the POST /batch body: N checker revisions evaluated
@@ -419,6 +532,9 @@ type batchRequest struct {
 	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
 	// IncludeTrace adds per-report path traces to the responses.
 	IncludeTrace bool `json:"include_trace,omitempty"`
+	// IncludeTiming adds the request's trace id and stage timeline to
+	// the batch reply (one trace per HTTP request; entries share it).
+	IncludeTiming bool `json:"include_timing,omitempty"`
 }
 
 // batchResponse is the POST /batch reply: per-checker results in request
@@ -431,6 +547,10 @@ type batchResponse struct {
 	CheckerErrors int       `json:"checker_errors"`
 	Cache         cacheJSON `json:"cache"`
 	ElapsedMS     float64   `json:"elapsed_ms"`
+	// TraceID and Timing are present when the request asked for
+	// include_timing; the timeline aggregates all entries' stages.
+	TraceID string     `json:"trace_id,omitempty"`
+	Timing  []obs.Span `json:"timing,omitempty"`
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
@@ -484,6 +604,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	agg := &scan.Result{}
 	for bi, res := range results {
 		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace)
+		s.observeScan(res)
 		agg.CacheHits += res.CacheHits
 		agg.CacheMisses += res.CacheMisses
 		agg.CacheCoalesced += res.CacheCoalesced
@@ -494,6 +615,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	resp.CheckersRun = len(cks)
 	resp.Cache = cacheOf(agg)
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
+	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
 	s.batches.Add(1)
 	s.scans.Add(int64(len(cks)))
 	writeJSON(w, http.StatusOK, resp)
@@ -654,6 +776,8 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 // statsResponse is the GET /stats reply.
 type statsResponse struct {
 	UptimeSeconds float64     `json:"uptime_seconds"`
+	Version       string      `json:"version"`
+	GoVersion     string      `json:"go_version"`
 	Files         int         `json:"files"`
 	Funcs         int         `json:"funcs"`
 	Generation    int64       `json:"generation"`
@@ -686,8 +810,11 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		rs := s.remote.RemoteStats()
 		remote = &rs
 	}
+	version, goVersion := obs.BuildVersion()
 	writeJSON(w, http.StatusOK, &statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Version:       version,
+		GoVersion:     goVersion,
 		Files:         len(cb.Files),
 		Funcs:         cb.NumFuncs(),
 		Generation:    cb.Generation(),

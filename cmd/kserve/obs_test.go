@@ -1,0 +1,267 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"knighter/internal/kernel"
+	"knighter/internal/obs"
+	"knighter/internal/scan"
+	"knighter/internal/store"
+)
+
+// newObsReplica builds a fully instrumented kserve replica — the same
+// composition main() wires: instrumented memory tier (plus an
+// instrumented remote tier when kcURL is set), coalescing on top, the
+// metrics registry installed, and the access log captured for
+// inspection.
+func newObsReplica(t *testing.T, kcURL string) (*server, *httptest.Server, *bytes.Buffer) {
+	t.Helper()
+	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
+	cb, err := scan.NewCodebase(corpus)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("kserve")
+	var remote *store.Remote
+	var st store.Store = store.Instrument(reg, "memory", store.NewMemory(0)).SampleLatency(4)
+	if kcURL != "" {
+		remote, err = store.NewRemote(kcURL, store.RemoteConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = store.NewTiered(st, store.Instrument(reg, "remote", asyncInvalidate{remote}))
+	}
+	st = store.Instrument(reg, "coalesced", store.NewCoalesced(st)).SampleLatency(4)
+	srv := newServer(scan.NewIncremental(cb, st))
+	srv.remote = remote
+	var logBuf bytes.Buffer
+	srv.accessLog = log.New(&logBuf, "", 0)
+	srv.registerMetrics(reg)
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+	return srv, ts, &logBuf
+}
+
+func getMetrics(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("GET /metrics Content-Type = %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// TestMetricsExposition: after real traffic, /metrics parses as valid
+// Prometheus text format (grammar, no duplicate series) and carries the
+// series the dashboards and the CI smoke test grep for.
+func TestMetricsExposition(t *testing.T) {
+	_, ts, _ := newObsReplica(t, "")
+	postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, scanRequest{Checker: testChecker}) // warm: memory hits
+
+	text := getMetrics(t, ts)
+	ids, err := obs.CheckExposition(text)
+	if err != nil {
+		t.Fatalf("/metrics is not valid Prometheus text format: %v", err)
+	}
+	if len(ids) == 0 {
+		t.Fatal("/metrics exposed no series")
+	}
+	for _, want := range []string{
+		`kserve_scan_duration_seconds_bucket{le="+Inf"} 2`,
+		`kserve_scan_duration_seconds_count 2`,
+		`kserve_store_requests_total{tier="memory"}`,
+		`kserve_store_hits_total{tier="memory"}`,
+		`kserve_scan_stage_duration_seconds_bucket{stage="parse",le=`,
+		`kserve_scan_stage_duration_seconds_bucket{stage="engine_eval",le=`,
+		`kserve_http_requests_total{route="scan",code="2xx"} 2`,
+		`kserve_scans_total 2`,
+		`kserve_engine_timeouts_total`,
+		`kserve_build_info{version=`,
+		`kserve_uptime_seconds`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// TestMetricsStageObserverOnlyTimesInstrumentedScans: a scan through an
+// instrumented daemon lands in every stage histogram exactly once per
+// scan.
+func TestMetricsStageTimings(t *testing.T) {
+	_, ts, _ := newObsReplica(t, "")
+	postScan(t, ts, scanRequest{Checker: testChecker})
+	text := getMetrics(t, ts)
+	for _, stage := range []string{
+		scan.StageParse, scan.StageCacheProbe, scan.StageEngineEval, scan.StageSerialize,
+	} {
+		want := `kserve_scan_stage_duration_seconds_count{stage="` + stage + `"} 1`
+		if !strings.Contains(text, want+"\n") {
+			t.Errorf("stage %s not observed exactly once; want line %q", stage, want)
+		}
+	}
+}
+
+// TestIncludeTimingReturnsTimeline: include_timing adds the trace id
+// and a per-stage span timeline to the /scan reply; omitting it keeps
+// the reply unchanged.
+func TestIncludeTimingReturnsTimeline(t *testing.T) {
+	_, ts, _ := newObsReplica(t, "")
+
+	resp := postScan(t, ts, scanRequest{Checker: testChecker, IncludeTiming: true})
+	if resp.TraceID == "" {
+		t.Fatal("include_timing reply has no trace_id")
+	}
+	stages := map[string]bool{}
+	for _, sp := range resp.Timing {
+		stages[sp.Name] = true
+		if sp.DurMS < 0 || sp.OffsetMS < 0 {
+			t.Errorf("span %s has negative timing: %+v", sp.Name, sp)
+		}
+	}
+	for _, want := range []string{scan.StageParse, scan.StageCacheProbe, scan.StageEngineEval, scan.StageSerialize} {
+		if !stages[want] {
+			t.Errorf("timeline missing stage %s; got %+v", want, resp.Timing)
+		}
+	}
+
+	plain := postScan(t, ts, scanRequest{Checker: testChecker})
+	if plain.TraceID != "" || plain.Timing != nil {
+		t.Fatalf("timing leaked into a reply that did not ask for it: %+v", plain.Timing)
+	}
+}
+
+// TestTraceIDStitchesBothDaemonsLogs is the fleet-tracing acceptance
+// criterion: a client-supplied X-Trace-Id on a kserve scan shows up in
+// kserve's access log AND in kcached's — one grep joins the cross-host
+// story — and the same id comes back in the response header.
+func TestTraceIDStitchesBothDaemonsLogs(t *testing.T) {
+	// kcached with its access log captured, exactly as main() wires it.
+	disk, err := store.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kcLog bytes.Buffer
+	kc := httptest.NewServer(store.AccessLog(log.New(&kcLog, "", 0), store.NewCacheServer(disk).Handler()))
+	t.Cleanup(kc.Close)
+
+	_, ts, ksLog := newObsReplica(t, kc.URL)
+
+	body, err := json.Marshal(scanRequest{Checker: testChecker, IncludeTiming: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/scan", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const traceID = "abc-fleet-trace-1"
+	req.Header.Set(obs.TraceHeader, traceID)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST /scan status = %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
+		t.Fatalf("response %s = %q, want %q", obs.TraceHeader, got, traceID)
+	}
+	var sr scanResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.TraceID != traceID {
+		t.Fatalf("reply trace_id = %q, want %q", sr.TraceID, traceID)
+	}
+
+	// The scan's remote-tier round-trips carry the id to kcached; both
+	// daemons' logs now grep to the same trace.
+	if !strings.Contains(ksLog.String(), "trace="+traceID) {
+		t.Fatalf("kserve access log does not mention trace=%s:\n%s", traceID, ksLog.String())
+	}
+	if !strings.Contains(kcLog.String(), "trace="+traceID) {
+		t.Fatalf("kcached access log does not mention trace=%s:\n%s", traceID, kcLog.String())
+	}
+}
+
+// TestSlowScanLogEmitsTimeline: a request slower than -slow-scan gets
+// the structured slow-request line with its trace id and timeline.
+func TestSlowScanLogEmitsTimeline(t *testing.T) {
+	srv, ts, logBuf := newObsReplica(t, "")
+	srv.slowScan = time.Nanosecond // everything is slow
+	postScan(t, ts, scanRequest{Checker: testChecker})
+	out := logBuf.String()
+	if !strings.Contains(out, "slow request: route=scan trace=") {
+		t.Fatalf("no slow-request line in log:\n%s", out)
+	}
+	if !strings.Contains(out, "timeline=[") || !strings.Contains(out, scan.StageEngineEval+"=") {
+		t.Fatalf("slow-request line has no stage timeline:\n%s", out)
+	}
+}
+
+// TestKcachedMetricsExposition: the kcached composition (instrumented
+// disk tier + registered cache server) serves valid exposition with the
+// entry-request and store families the smoke test greps for.
+func TestKcachedMetricsExposition(t *testing.T) {
+	disk, err := store.NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry("kcached")
+	cs := store.NewCacheServer(store.Instrument(reg, "disk", disk))
+	cs.Register(reg)
+	kc := httptest.NewServer(cs.Handler())
+	t.Cleanup(kc.Close)
+
+	// Drive real traffic through a kserve replica so the counters move.
+	_, ts, _ := newObsReplica(t, kc.URL)
+	postScan(t, ts, scanRequest{Checker: testChecker})
+
+	resp, err := http.Get(kc.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := obs.CheckExposition(string(body)); err != nil {
+		t.Fatalf("kcached /metrics is not valid Prometheus text format: %v", err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		`kcached_entry_requests_total{op="get",outcome="miss"}`,
+		`kcached_entry_requests_total{op="put",outcome="stored"}`,
+		`kcached_request_duration_seconds_count{op="get"}`,
+		`kcached_store_requests_total{tier="disk"}`,
+		`kcached_store_entries`,
+		`kcached_build_info{version=`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("kcached /metrics missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package engine
+
+import "sync/atomic"
+
+// Process-wide operational counters. The engine's timeout and
+// cancellation guards deliberately fail quiet — a function over budget
+// yields a truncated, uncacheable result and the scan moves on — which
+// makes them exactly the events an operator cannot see without
+// counting: a corpus whose warm-scan latency regressed because one
+// pathological function times out on every request looks identical to
+// a cache problem from /stats alone. The counters are cumulative and
+// monotonic, meant to be exposed as Prometheus counters (kserve wires
+// them into /metrics via counter funcs).
+var (
+	timeouts atomic.Int64
+	cancels  atomic.Int64
+	crashes  atomic.Int64
+)
+
+// Totals is a snapshot of the engine's cumulative operational counters.
+type Totals struct {
+	// Timeouts counts per-function analyses cut short by
+	// Options.Timeout (frame-level or mid-block).
+	Timeouts int64
+	// Cancels counts per-function analyses aborted by Options.Ctx
+	// cancellation, including functions skipped because the context was
+	// already done at entry.
+	Cancels int64
+	// Crashes counts checker panics recovered into RuntimeErrs.
+	Crashes int64
+}
+
+// CounterTotals snapshots the counters.
+func CounterTotals() Totals {
+	return Totals{
+		Timeouts: timeouts.Load(),
+		Cancels:  cancels.Load(),
+		Crashes:  crashes.Load(),
+	}
+}
+
+// countOutcome folds one finished per-function result into the
+// process-wide counters (AnalyzeFunc defers it around every analysis,
+// whatever path produced the result).
+func countOutcome(res *Result) {
+	if res.TimedOut {
+		timeouts.Add(1)
+	}
+	if res.Canceled {
+		cancels.Add(1)
+	}
+	if n := len(res.RuntimeErrs); n > 0 {
+		crashes.Add(int64(n))
+	}
+}

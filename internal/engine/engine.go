@@ -129,6 +129,11 @@ func AnalyzeFile(file *minic.File, opts Options) *Result {
 func AnalyzeFunc(file *minic.File, fn *minic.FuncDecl, opts Options) (res *Result) {
 	opts = opts.withDefaults()
 	res = &Result{}
+	// Registered before the recover defer so it runs after it (LIFO):
+	// by then the sentinel panics have been folded into the result's
+	// flags and every exit path — early cancel, CFG failure, sentinel,
+	// checker crash, clean finish — is counted from one place.
+	defer func() { countOutcome(res) }()
 	if opts.Ctx != nil && opts.Ctx.Err() != nil {
 		// Already canceled: do not even build the CFG.
 		res.Truncated = true

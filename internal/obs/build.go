@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+)
+
+// BuildVersion returns the binary's module version (falling back to the
+// VCS revision, then "devel") and the Go toolchain that built it — the
+// identity every daemon reports in /stats, -version, and the
+// <ns>_build_info metric.
+func BuildVersion() (version, goVersion string) {
+	version = "devel"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		if v := bi.Main.Version; v != "" && v != "(devel)" {
+			version = v
+		} else {
+			for _, s := range bi.Settings {
+				if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+					version = s.Value[:12]
+					break
+				}
+			}
+		}
+	}
+	return version, runtime.Version()
+}
+
+// RegisterBuildInfo registers the conventional build-info gauge
+// (<ns>_build_info{version,go} 1) plus an uptime gauge driven by
+// uptimeSeconds.
+func RegisterBuildInfo(reg *Registry, uptimeSeconds func() float64) {
+	version, goVersion := BuildVersion()
+	reg.GaugeVec("build_info", "Build identity; value is always 1.", "version", "go").
+		With(version, goVersion).Set(1)
+	if uptimeSeconds != nil {
+		reg.GaugeFunc("uptime_seconds", "Seconds since the daemon started.", uptimeSeconds)
+	}
+}

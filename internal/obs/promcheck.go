@@ -1,0 +1,37 @@
+package obs
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+)
+
+// promSeriesLine matches one exposition sample: name{labels} value.
+// Label values may contain anything except an unescaped quote.
+var promSeriesLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+// CheckExposition validates a Prometheus text-format payload: every
+// non-comment line must match the sample grammar, and no series
+// (name + label set) may appear twice. It returns the series identities
+// in order. Shared by the obs unit tests and the daemons' /metrics
+// tests, so both check the same grammar.
+func CheckExposition(text string) ([]string, error) {
+	var ids []string
+	seen := map[string]bool{}
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promSeriesLine.MatchString(line) {
+			return nil, fmt.Errorf("line %d does not match the Prometheus sample grammar: %q", ln+1, line)
+		}
+		id := line[:strings.LastIndexByte(line, ' ')]
+		if seen[id] {
+			return nil, fmt.Errorf("duplicate series %q", id)
+		}
+		seen[id] = true
+		ids = append(ids, id)
+	}
+	return ids, nil
+}

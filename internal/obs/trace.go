@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Trace is one request's span timeline: the stages the request passed
+// through, with wall-clock offsets from the request's start. kserve
+// assigns one per request (honoring an inbound X-Trace-Id), threads it
+// through the scan via context, and the remote store tier forwards the
+// id on every kcached round-trip — so one id stitches together the
+// kserve access log, the per-stage timeline, and the kcached access log.
+//
+// Spans are aggregates, not raw events: a scan's cache-probe span is the
+// summed probe time across all workers with Count = number of probes.
+// That keeps a 10k-function scan's timeline at a handful of rows while
+// still answering the triage question ("which stage ate the budget?").
+type Trace struct {
+	// ID is the request's trace id, propagated on X-Trace-Id.
+	ID string
+	// Start anchors span offsets.
+	Start time.Time
+
+	mu    sync.Mutex
+	spans []Span
+}
+
+// Span is one stage of a trace: name, offset from the trace start,
+// duration, and how many operations the aggregate covers.
+type Span struct {
+	Name string `json:"name"`
+	// OffsetMS is when the stage began, relative to the trace start.
+	OffsetMS float64 `json:"offset_ms"`
+	// DurMS is the stage's duration — summed across workers for
+	// concurrent stages, so it can exceed the request's wall time.
+	DurMS float64 `json:"dur_ms"`
+	// Count is the number of operations aggregated into the span (0
+	// means one, for plain stages).
+	Count int `json:"count,omitempty"`
+}
+
+// NewTrace returns a trace anchored at now. An empty id gets a fresh
+// random one — 16 hex chars, unique enough for log stitching within a
+// fleet's retention window.
+func NewTrace(id string) *Trace {
+	if id == "" {
+		var b [8]byte
+		rand.Read(b[:])
+		id = hex.EncodeToString(b[:])
+	}
+	return &Trace{ID: sanitizeID(id), Start: time.Now()}
+}
+
+// sanitizeID bounds an inbound trace id so a hostile client cannot
+// inject log lines or megabytes through the header: printable
+// non-space ASCII only, max 64 chars.
+func sanitizeID(id string) string {
+	if len(id) > 64 {
+		id = id[:64]
+	}
+	return strings.Map(func(r rune) rune {
+		if r <= ' ' || r > '~' {
+			return '_'
+		}
+		return r
+	}, id)
+}
+
+// Observe appends a span: a stage named name that began at start, ran
+// for d, and covered count operations. Safe for concurrent use.
+func (t *Trace) Observe(name string, start time.Time, d time.Duration, count int) {
+	if t == nil {
+		return
+	}
+	sp := Span{
+		Name:     name,
+		OffsetMS: float64(start.Sub(t.Start).Microseconds()) / 1000,
+		DurMS:    float64(d.Microseconds()) / 1000,
+		Count:    count,
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, sp)
+	t.mu.Unlock()
+}
+
+// Spans returns a snapshot of the timeline in observation order.
+func (t *Trace) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// String renders the timeline as one log-friendly line:
+// "parse=1.2ms cache_probe=3.4ms/120 engine_eval=56.7ms/3".
+func (t *Trace) String() string {
+	var b strings.Builder
+	for i, sp := range t.Spans() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%.3fms", sp.Name, sp.DurMS)
+		if sp.Count > 0 {
+			fmt.Fprintf(&b, "/%d", sp.Count)
+		}
+	}
+	return b.String()
+}
+
+// traceKey is the context key for the request's trace.
+type traceKey struct{}
+
+// WithTrace returns ctx carrying t.
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, traceKey{}, t)
+}
+
+// TraceFrom returns the trace carried by ctx, or nil. Safe on a nil
+// context.
+func TraceFrom(ctx context.Context) *Trace {
+	if ctx == nil {
+		return nil
+	}
+	t, _ := ctx.Value(traceKey{}).(*Trace)
+	return t
+}
+
+// TraceHeader is the HTTP header carrying the trace id between kserve
+// and kcached (and honored from clients).
+const TraceHeader = "X-Trace-Id"

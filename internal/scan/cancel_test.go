@@ -79,7 +79,7 @@ type cancelOnPut struct {
 	f func()
 }
 
-func (c *cancelOnPut) Put(k store.Key, r *engine.Result) {
+func (c *cancelOnPut) Put(ctx context.Context, k store.Key, r *engine.Result) {
 	c.f()
-	c.Store.Put(k, r)
+	c.Store.Put(ctx, k, r)
 }

@@ -1,6 +1,7 @@
 package scan
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -8,6 +9,7 @@ import (
 
 	"knighter/internal/checker"
 	"knighter/internal/engine"
+	"knighter/internal/obs"
 	"knighter/internal/store"
 )
 
@@ -22,7 +24,38 @@ import (
 type Incremental struct {
 	cb *Codebase
 	st store.Store
+	// stages, when non-nil, receives per-scan stage durations (set once
+	// at boot, before serving).
+	stages StageObserver
 }
+
+// StageObserver receives the aggregate duration of each scan stage —
+// kserve adapts it onto a latency histogram labeled by stage. Durations
+// for the concurrent stages (cache_probe, engine_eval) are summed
+// across workers, so they measure work done, not wall time.
+type StageObserver interface {
+	ObserveStage(stage string, d time.Duration)
+}
+
+// Scan stage names, as reported to StageObserver and trace timelines.
+const (
+	// StageParse is the serial key-computation prologue: rendering each
+	// function to its canonical source and hashing it with its file
+	// context (memoized across scans, so a warm daemon pays it once).
+	StageParse = "parse"
+	// StageCacheProbe is the summed store.Get time across workers.
+	StageCacheProbe = "cache_probe"
+	// StageEngineEval is the summed symbolic-execution time across
+	// workers (misses only — a fully warm scan has none).
+	StageEngineEval = "engine_eval"
+	// StageSerialize is the deterministic merge of per-function results
+	// into the final report order.
+	StageSerialize = "serialize"
+)
+
+// SetStageObserver wires o into every subsequent scan. Call once at
+// boot, before the scheduler serves traffic.
+func (inc *Incremental) SetStageObserver(o StageObserver) { inc.stages = o }
 
 // NewIncremental wraps a codebase with a result store. A nil store gets
 // a default in-memory LRU tier.
@@ -112,6 +145,21 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	ckFP, cacheable := checkersFingerprint(checkers)
 	engFP := opts.Engine.Fingerprint()
 
+	ctx := opts.Context
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// Stage timing is strictly opt-in: with no trace on the context and
+	// no observer installed, the hot path pays zero extra clock reads.
+	tr := obs.TraceFrom(ctx)
+	timed := tr != nil || inc.stages != nil
+	stage := func(name string, begin time.Time, d time.Duration, n int) {
+		tr.Observe(name, begin, d, n)
+		if inc.stages != nil {
+			inc.stages.ObserveStage(name, d)
+		}
+	}
+
 	var units []unit
 	for _, i := range files {
 		for j := range inc.cb.Files[i].Funcs {
@@ -122,12 +170,16 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	keys := make([]store.Key, len(units))
 	if cacheable {
 		// Key computation stays serial: pure hashing, no I/O.
+		keyStart := time.Now()
 		for u, un := range units {
 			keys[u] = store.Key{
 				FuncHash:  inc.cb.funcHash(un.file, un.fn),
 				CheckerFP: ckFP,
 				EngineFP:  engFP,
 			}
+		}
+		if timed {
+			stage(StageParse, keyStart, time.Since(keyStart), len(units))
 		}
 	}
 
@@ -140,6 +192,8 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	// request — compute once and share (critical once the remote tier
 	// widens the window between miss and put).
 	var hits, misses, coalesced atomic.Int64
+	var busyNS, evalNS atomic.Int64
+	workStart := time.Now()
 	if len(units) > 0 {
 		co, _ := inc.st.(store.ComputeCoalescer)
 		var wg sync.WaitGroup
@@ -148,6 +202,16 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
+				// Stage timing costs two clock reads per WORKER, not per
+				// unit: each worker's busy window is measured whole, and
+				// the probe stage is busy time minus the separately-timed
+				// engine evals. A fully warm scan therefore pays no
+				// per-hit timing at all on its hot path.
+				var t0 time.Time
+				if timed {
+					t0 = time.Now()
+					defer func() { busyNS.Add(int64(time.Since(t0))) }()
+				}
 				for u := range ch {
 					un := units[u]
 					f := inc.cb.Files[un.file]
@@ -163,7 +227,8 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 						perFunc[u] = engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
 						continue
 					}
-					if r, ok := inc.st.Get(keys[u]); ok {
+					r, ok := inc.st.Get(ctx, keys[u])
+					if ok {
 						perFunc[u] = r
 						hits.Add(1)
 						continue
@@ -173,21 +238,28 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 					// speed or the caller's lifetime, not just the key's
 					// inputs — caching it would poison later scans.
 					compute := func() (*engine.Result, bool) {
+						var e0 time.Time
+						if timed {
+							e0 = time.Now()
+						}
 						r := engine.AnalyzeFunc(f, f.Funcs[un.fn], eo)
+						if timed {
+							evalNS.Add(int64(time.Since(e0)))
+						}
 						return r, !r.TimedOut && !r.Canceled
 					}
 					if co != nil {
-						r, shared := co.GetOrCompute(keys[u], compute)
+						r, shared := co.GetOrCompute(ctx, keys[u], compute)
 						perFunc[u] = r
 						if shared {
 							coalesced.Add(1)
 						}
 						continue
 					}
-					r, ok := compute()
+					r, cacheOK := compute()
 					perFunc[u] = r
-					if ok {
-						inc.st.Put(keys[u], r)
+					if cacheOK {
+						inc.st.Put(ctx, keys[u], r)
 					}
 				}
 			}()
@@ -199,10 +271,26 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 		wg.Wait()
 	}
 
+	if timed && cacheable && len(units) > 0 {
+		// The probe and eval stages interleave across workers, so both
+		// anchor at the worker pool's start; their durations are summed
+		// work, not wall time. Probe time is what remains of the workers'
+		// busy windows once the engine evals are subtracted — exact when
+		// the scan is fully warm (no evals at all), and a close bound
+		// otherwise.
+		probe := busyNS.Load() - evalNS.Load()
+		if probe < 0 {
+			probe = 0
+		}
+		stage(StageCacheProbe, workStart, time.Duration(probe), int(hits.Load()+misses.Load()))
+		stage(StageEngineEval, workStart, time.Duration(evalNS.Load()), int(misses.Load()))
+	}
+
 	// Deterministic merge: per-function results fold into a per-file
 	// result in function order (deduplicating within the file, exactly
 	// like engine.AnalyzeFile), then files concatenate in the given
 	// order — byte-identical to the uncached Codebase.Run path.
+	mergeStart := time.Now()
 	out := &Result{FilesScanned: len(files)}
 	if cacheable {
 		out.CacheHits = int(hits.Load())
@@ -233,6 +321,9 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 			}
 			out.Reports = append(out.Reports, rep)
 		}
+	}
+	if timed {
+		stage(StageSerialize, mergeStart, time.Since(mergeStart), len(units))
 	}
 	out.Elapsed = time.Since(start)
 	return out

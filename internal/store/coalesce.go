@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"sync"
 
 	"knighter/internal/engine"
@@ -19,7 +20,7 @@ type ComputeCoalescer interface {
 	// (timed-out or canceled results are not). The second return reports
 	// whether the result was shared from another caller's in-flight
 	// computation rather than computed (or fetched) by this one.
-	GetOrCompute(k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool)
+	GetOrCompute(ctx context.Context, k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool)
 }
 
 // Coalesced wraps a Store with singleflight coalescing. Get, Put, Stats,
@@ -51,10 +52,10 @@ func NewCoalesced(st Store) *Coalesced {
 func (c *Coalesced) Inner() Store { return c.st }
 
 // Get implements Store.
-func (c *Coalesced) Get(k Key) (*engine.Result, bool) { return c.st.Get(k) }
+func (c *Coalesced) Get(ctx context.Context, k Key) (*engine.Result, bool) { return c.st.Get(ctx, k) }
 
 // Put implements Store.
-func (c *Coalesced) Put(k Key, r *engine.Result) { c.st.Put(k, r) }
+func (c *Coalesced) Put(ctx context.Context, k Key, r *engine.Result) { c.st.Put(ctx, k, r) }
 
 // Stats implements Store: the wrapped tier's counters plus the number of
 // computations saved by coalescing.
@@ -67,7 +68,15 @@ func (c *Coalesced) Stats() Stats {
 }
 
 // GetOrCompute implements ComputeCoalescer.
-func (c *Coalesced) GetOrCompute(k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool) {
+func (c *Coalesced) GetOrCompute(ctx context.Context, k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	// The write-through publish must not be aborted by the caller
+	// disconnecting right after the computation finished — the bytes are
+	// valid for everyone — but it should keep the request's trace id so
+	// the publish shows up under the same trace in the kcached log.
+	putCtx := context.WithoutCancel(ctx)
 	id := k.ID()
 	c.mu.Lock()
 	if fl, ok := c.flights[id]; ok {
@@ -85,7 +94,7 @@ func (c *Coalesced) GetOrCompute(k Key, compute func() (*engine.Result, bool)) (
 		// own.
 		res, cacheable := compute()
 		if cacheable {
-			c.st.Put(k, res)
+			c.st.Put(putCtx, k, res)
 		}
 		return res, false
 	}
@@ -116,7 +125,7 @@ func (c *Coalesced) GetOrCompute(k Key, compute func() (*engine.Result, bool)) (
 	res, cacheable := compute()
 	finish(res, cacheable)
 	if cacheable {
-		c.st.Put(k, res)
+		c.st.Put(putCtx, k, res)
 	}
 	return res, false
 }

@@ -24,7 +24,7 @@ func TestCoalescedComputesOnce(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			res, _ := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+			res, _ := c.GetOrCompute(bg, key(1), func() (*engine.Result, bool) {
 				ready <- struct{}{}
 				<-gate // hold the flight open until every goroutine launched
 				computes.Add(1)
@@ -68,7 +68,7 @@ func TestCoalescedSharedResultsAreIndependent(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		leaderRes, _ = c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+		leaderRes, _ = c.GetOrCompute(bg, key(1), func() (*engine.Result, bool) {
 			close(leaderIn)
 			<-gate
 			return result("shared"), true
@@ -77,7 +77,7 @@ func TestCoalescedSharedResultsAreIndependent(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-leaderIn
-		followerRes, _ = c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+		followerRes, _ = c.GetOrCompute(bg, key(1), func() (*engine.Result, bool) {
 			// Runs only if this goroutine lost the race and arrived
 			// after the leader finished; the assertions hold either way.
 			return result("shared"), true
@@ -93,7 +93,7 @@ func TestCoalescedSharedResultsAreIndependent(t *testing.T) {
 	}
 	leaderRes.Reports[0] = nil
 	followerRes.Reports[0] = nil
-	if got, ok := c.Get(key(1)); !ok || len(got.Reports) != 1 || got.Reports[0] == nil {
+	if got, ok := c.Get(bg, key(1)); !ok || len(got.Reports) != 1 || got.Reports[0] == nil {
 		t.Fatal("caller mutation reached the cached entry")
 	}
 }
@@ -110,7 +110,7 @@ func TestCoalescedUncacheableNotShared(t *testing.T) {
 	wg.Add(2)
 	go func() {
 		defer wg.Done()
-		res, _ := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+		res, _ := c.GetOrCompute(bg, key(1), func() (*engine.Result, bool) {
 			close(leaderIn)
 			<-gate
 			return &engine.Result{Truncated: true, TimedOut: true}, false
@@ -122,7 +122,7 @@ func TestCoalescedUncacheableNotShared(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		<-leaderIn
-		res, shared := c.GetOrCompute(key(1), func() (*engine.Result, bool) {
+		res, shared := c.GetOrCompute(bg, key(1), func() (*engine.Result, bool) {
 			return result("mine"), true
 		})
 		if shared {
@@ -138,7 +138,7 @@ func TestCoalescedUncacheableNotShared(t *testing.T) {
 	wg.Wait()
 
 	// The follower's (cacheable) result IS cached; the leader's is not.
-	if got, ok := c.Get(key(1)); !ok || got.TimedOut {
+	if got, ok := c.Get(bg, key(1)); !ok || got.TimedOut {
 		t.Fatalf("cached entry = %+v, %v; want the follower's clean result", got, ok)
 	}
 }
@@ -147,13 +147,13 @@ func TestCoalescedUncacheableNotShared(t *testing.T) {
 // invalidation path.
 func TestCoalescedForwardsInvalidation(t *testing.T) {
 	c := NewCoalesced(NewMemory(0))
-	c.Put(fkey("fA", "ck1"), result("a1"))
-	c.Put(fkey("fA", "ck2"), result("a2"))
-	c.Put(fkey("fB", "ck1"), result("b1"))
+	c.Put(bg, fkey("fA", "ck1"), result("a1"))
+	c.Put(bg, fkey("fA", "ck2"), result("a2"))
+	c.Put(bg, fkey("fB", "ck1"), result("b1"))
 	if n := c.InvalidateFuncs([]string{"fA"}); n != 2 {
 		t.Fatalf("invalidated %d, want 2", n)
 	}
-	if _, ok := c.Get(fkey("fB", "ck1")); !ok {
+	if _, ok := c.Get(bg, fkey("fB", "ck1")); !ok {
 		t.Fatal("unrelated entry dropped")
 	}
 }

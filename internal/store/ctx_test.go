@@ -1,0 +1,7 @@
+package store
+
+import "context"
+
+// bg is the context used by store tests that do not exercise trace
+// propagation or cancellation.
+var bg = context.Background()

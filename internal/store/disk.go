@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -98,8 +99,9 @@ func (d *Disk) path(k Key) string {
 	return filepath.Join(d.funcDir(k.FuncHash), k.ID()+".json")
 }
 
-// Get implements Store.
-func (d *Disk) Get(k Key) (*engine.Result, bool) {
+// Get implements Store. The context is unused — local file reads are
+// not worth the cancellation plumbing.
+func (d *Disk) Get(_ context.Context, k Key) (*engine.Result, bool) {
 	data, err := os.ReadFile(d.path(k))
 	if err != nil {
 		d.count(func(s *Stats) { s.Misses++ })
@@ -116,7 +118,7 @@ func (d *Disk) Get(k Key) (*engine.Result, bool) {
 
 // Put implements Store. The write is atomic (temp file + rename) so a
 // concurrent reader never observes a torn entry.
-func (d *Disk) Put(k Key, r *engine.Result) {
+func (d *Disk) Put(_ context.Context, k Key, r *engine.Result) {
 	if r == nil {
 		return
 	}
@@ -312,8 +314,9 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 // dropping entries older than ttl and enforcing the byte budget (if
 // any). Sweeps run every ttl/4 clamped to [1m, 15m]; a pure byte budget
 // with no TTL sweeps every minute. onSweep, when non-nil, observes each
-// sweep's outcome — both daemons hook their logging and counters there.
-func (d *Disk) StartGCLoop(ttl time.Duration, onSweep func(removed int, err error)) {
+// sweep's outcome and duration — both daemons hook their logging,
+// counters, and sweep-duration histograms there.
+func (d *Disk) StartGCLoop(ttl time.Duration, onSweep func(removed int, dur time.Duration, err error)) {
 	every := time.Minute
 	if ttl > 0 {
 		every = ttl / 4
@@ -326,9 +329,10 @@ func (d *Disk) StartGCLoop(ttl time.Duration, onSweep func(removed int, err erro
 	}
 	go func() {
 		for {
+			start := time.Now()
 			n, err := d.GC(ttl)
 			if onSweep != nil {
-				onSweep(n, err)
+				onSweep(n, time.Since(start), err)
 			}
 			time.Sleep(every)
 		}

@@ -73,10 +73,10 @@ func FuzzMemoryWeightInvariants(f *testing.F) {
 			k := Key{FuncHash: string([]byte{'f', sel % 4}), CheckerFP: string([]byte{'c', sel / 4}), EngineFP: "e"}
 			switch op {
 			case 0:
-				m.Put(k, fuzzResult(variant))
+				m.Put(bg, k, fuzzResult(variant))
 				check("put")
 			case 1:
-				m.Get(k)
+				m.Get(bg, k)
 				check("get")
 			case 2:
 				m.InvalidateFunc(k.FuncHash)

@@ -15,20 +15,20 @@ func fkey(funcHash, ckFP string) Key {
 
 func TestMemoryInvalidateFuncDropsAllCheckersOfThatFunc(t *testing.T) {
 	m := NewMemory(0)
-	m.Put(fkey("fA", "ck1"), result("a1"))
-	m.Put(fkey("fA", "ck2"), result("a2"))
-	m.Put(fkey("fB", "ck1"), result("b1"))
+	m.Put(bg, fkey("fA", "ck1"), result("a1"))
+	m.Put(bg, fkey("fA", "ck2"), result("a2"))
+	m.Put(bg, fkey("fB", "ck1"), result("b1"))
 
 	if n := m.InvalidateFunc("fA"); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, ok := m.Get(fkey("fA", "ck1")); ok {
+	if _, ok := m.Get(bg, fkey("fA", "ck1")); ok {
 		t.Fatal("fA/ck1 survived invalidation")
 	}
-	if _, ok := m.Get(fkey("fA", "ck2")); ok {
+	if _, ok := m.Get(bg, fkey("fA", "ck2")); ok {
 		t.Fatal("fA/ck2 survived invalidation")
 	}
-	if _, ok := m.Get(fkey("fB", "ck1")); !ok {
+	if _, ok := m.Get(bg, fkey("fB", "ck1")); !ok {
 		t.Fatal("fB/ck1 dropped by unrelated invalidation")
 	}
 	s := m.Stats()
@@ -42,8 +42,8 @@ func TestMemoryInvalidateFuncDropsAllCheckersOfThatFunc(t *testing.T) {
 
 func TestMemoryEvictionMaintainsFuncIndex(t *testing.T) {
 	m := NewMemory(1) // one-byte budget: only the newest entry survives
-	m.Put(fkey("fA", "ck1"), result("a"))
-	m.Put(fkey("fB", "ck1"), result("b")) // evicts fA
+	m.Put(bg, fkey("fA", "ck1"), result("a"))
+	m.Put(bg, fkey("fB", "ck1"), result("b")) // evicts fA
 	if n := m.InvalidateFunc("fA"); n != 0 {
 		t.Fatalf("evicted entry still indexed: %d", n)
 	}
@@ -57,17 +57,17 @@ func TestDiskInvalidateFunc(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Put(fkey("fA", "ck1"), result("a1"))
-	d.Put(fkey("fA", "ck2"), result("a2"))
-	d.Put(fkey("fB", "ck1"), result("b1"))
+	d.Put(bg, fkey("fA", "ck1"), result("a1"))
+	d.Put(bg, fkey("fA", "ck2"), result("a2"))
+	d.Put(bg, fkey("fB", "ck1"), result("b1"))
 
 	if n := d.InvalidateFunc("fA"); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, ok := d.Get(fkey("fA", "ck1")); ok {
+	if _, ok := d.Get(bg, fkey("fA", "ck1")); ok {
 		t.Fatal("fA/ck1 survived invalidation")
 	}
-	if _, ok := d.Get(fkey("fB", "ck1")); !ok {
+	if _, ok := d.Get(bg, fkey("fB", "ck1")); !ok {
 		t.Fatal("fB/ck1 dropped by unrelated invalidation")
 	}
 	s := d.Stats()
@@ -82,8 +82,8 @@ func TestDiskGCDropsOnlyStaleEntries(t *testing.T) {
 		t.Fatal(err)
 	}
 	oldKey, newKey := fkey("fOld", "ck"), fkey("fNew", "ck")
-	d.Put(oldKey, result("old"))
-	d.Put(newKey, result("new"))
+	d.Put(bg, oldKey, result("old"))
+	d.Put(bg, newKey, result("new"))
 
 	// Backdate the old entry past the TTL.
 	stale := time.Now().Add(-2 * time.Hour)
@@ -98,10 +98,10 @@ func TestDiskGCDropsOnlyStaleEntries(t *testing.T) {
 	if removed != 1 {
 		t.Fatalf("GC removed %d entries, want 1", removed)
 	}
-	if _, ok := d.Get(oldKey); ok {
+	if _, ok := d.Get(bg, oldKey); ok {
 		t.Fatal("stale entry survived GC")
 	}
-	if _, ok := d.Get(newKey); !ok {
+	if _, ok := d.Get(bg, newKey); !ok {
 		t.Fatal("fresh entry removed by GC")
 	}
 	s := d.Stats()
@@ -113,7 +113,7 @@ func TestDiskGCDropsOnlyStaleEntries(t *testing.T) {
 	if n, err := d.GC(0); n != 0 || err != nil {
 		t.Fatalf("GC(0) = %d, %v; want no-op", n, err)
 	}
-	if _, ok := d.Get(newKey); !ok {
+	if _, ok := d.Get(bg, newKey); !ok {
 		t.Fatal("GC(0) dropped a live entry")
 	}
 }
@@ -132,10 +132,10 @@ func TestNewDiskRemovesLegacyFlatEntries(t *testing.T) {
 		t.Fatal("pre-sharding flat entry survived NewDisk; it is unreachable garbage")
 	}
 	// The sharded layout is untouched by the sweep.
-	d.Put(fkey("fA", "ck"), result("a"))
+	d.Put(bg, fkey("fA", "ck"), result("a"))
 	if d2, err := NewDisk(dir); err != nil {
 		t.Fatal(err)
-	} else if _, ok := d2.Get(fkey("fA", "ck")); !ok {
+	} else if _, ok := d2.Get(bg, fkey("fA", "ck")); !ok {
 		t.Fatal("sharded entry lost across NewDisk")
 	}
 }
@@ -147,11 +147,11 @@ func TestTieredInvalidateFuncForwardsToBothTiers(t *testing.T) {
 		t.Fatal(err)
 	}
 	tiered := NewTiered(mem, disk)
-	tiered.Put(fkey("fA", "ck"), result("a")) // write-through: both tiers
+	tiered.Put(bg, fkey("fA", "ck"), result("a")) // write-through: both tiers
 	if n := tiered.InvalidateFunc("fA"); n != 2 {
 		t.Fatalf("tiered invalidation dropped %d entries, want 2 (one per tier)", n)
 	}
-	if _, ok := tiered.Get(fkey("fA", "ck")); ok {
+	if _, ok := tiered.Get(bg, fkey("fA", "ck")); ok {
 		t.Fatal("entry survived tiered invalidation")
 	}
 	if s := tiered.Stats(); s.Invalidated != 2 {
@@ -165,8 +165,8 @@ func TestDiskByteAccounting(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	d.Put(fkey("fA", "ck1"), result("a"))
-	d.Put(fkey("fA", "ck2"), result("bb"))
+	d.Put(bg, fkey("fA", "ck1"), result("a"))
+	d.Put(bg, fkey("fA", "ck2"), result("bb"))
 	wantEntries, wantBytes := d.walk()
 	if wantEntries != 2 || wantBytes == 0 {
 		t.Fatalf("walk after two puts = %d entries / %d bytes", wantEntries, wantBytes)
@@ -176,7 +176,7 @@ func TestDiskByteAccounting(t *testing.T) {
 	}
 
 	// Overwriting an entry replaces its weight instead of adding it.
-	d.Put(fkey("fA", "ck1"), result("a-much-longer-replacement-message"))
+	d.Put(bg, fkey("fA", "ck1"), result("a-much-longer-replacement-message"))
 	wantEntries, wantBytes = d.walk()
 	if s := d.Stats(); s.Entries != wantEntries || s.Bytes != wantBytes {
 		t.Fatalf("counters after overwrite %+v disagree with walk (%d entries, %d bytes)", s, wantEntries, wantBytes)
@@ -225,16 +225,16 @@ func TestTieredBulkInvalidateForwardsToBothTiers(t *testing.T) {
 		t.Fatal(err)
 	}
 	tiered := NewTiered(mem, disk)
-	tiered.Put(fkey("fA", "ck"), result("a"))
-	tiered.Put(fkey("fB", "ck"), result("b"))
-	tiered.Put(fkey("fC", "ck"), result("c"))
+	tiered.Put(bg, fkey("fA", "ck"), result("a"))
+	tiered.Put(bg, fkey("fB", "ck"), result("b"))
+	tiered.Put(bg, fkey("fC", "ck"), result("c"))
 	if n := tiered.InvalidateFuncs([]string{"fA", "fB"}); n != 4 {
 		t.Fatalf("bulk tiered invalidation dropped %d entries, want 4 (two hashes x two tiers)", n)
 	}
-	if _, ok := tiered.Get(fkey("fA", "ck")); ok {
+	if _, ok := tiered.Get(bg, fkey("fA", "ck")); ok {
 		t.Fatal("entry survived bulk tiered invalidation")
 	}
-	if _, ok := tiered.Get(fkey("fC", "ck")); !ok {
+	if _, ok := tiered.Get(bg, fkey("fC", "ck")); !ok {
 		t.Fatal("unrelated entry dropped")
 	}
 }
@@ -248,7 +248,7 @@ func TestDiskByteBudgetEvictsOldestFirst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe.Put(fkey("probe", "ck"), result("mm"))
+	probe.Put(bg, fkey("probe", "ck"), result("mm"))
 	entrySize := probe.Stats().Bytes
 	probe.InvalidateFunc("probe")
 
@@ -259,7 +259,7 @@ func TestDiskByteBudgetEvictsOldestFirst(t *testing.T) {
 	}
 	hashes := []string{"f1", "f2", "f3", "f4"}
 	for i, fh := range hashes {
-		d.Put(fkey(fh, "ck"), result("mm"))
+		d.Put(bg, fkey(fh, "ck"), result("mm"))
 		// Distinct, strictly increasing mtimes: f1 oldest, f4 newest.
 		when := time.Now().Add(time.Duration(i-10) * time.Hour)
 		if err := os.Chtimes(d.path(fkey(fh, "ck")), when, when); err != nil {
@@ -275,12 +275,12 @@ func TestDiskByteBudgetEvictsOldestFirst(t *testing.T) {
 		t.Fatalf("GC removed %d entries, want 2", removed)
 	}
 	for _, fh := range []string{"f1", "f2"} {
-		if _, ok := d.Get(fkey(fh, "ck")); ok {
+		if _, ok := d.Get(bg, fkey(fh, "ck")); ok {
 			t.Fatalf("oldest entry %s survived budget eviction", fh)
 		}
 	}
 	for _, fh := range []string{"f3", "f4"} {
-		if _, ok := d.Get(fkey(fh, "ck")); !ok {
+		if _, ok := d.Get(bg, fkey(fh, "ck")); !ok {
 			t.Fatalf("newest entry %s evicted before older ones", fh)
 		}
 	}
@@ -309,7 +309,7 @@ func TestDiskGCSplitsExpiredAndEvicted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	probe.Put(fkey("probe", "ck"), result("mm"))
+	probe.Put(bg, fkey("probe", "ck"), result("mm"))
 	entrySize := probe.Stats().Bytes
 	probe.InvalidateFunc("probe")
 
@@ -322,7 +322,7 @@ func TestDiskGCSplitsExpiredAndEvicted(t *testing.T) {
 	for fh, age := range map[string]time.Duration{
 		"fExpired": 3 * time.Hour, "fOld": 30 * time.Minute, "fNew": time.Minute,
 	} {
-		d.Put(fkey(fh, "ck"), result("mm"))
+		d.Put(bg, fkey(fh, "ck"), result("mm"))
 		when := time.Now().Add(-age)
 		if err := os.Chtimes(d.path(fkey(fh, "ck")), when, when); err != nil {
 			t.Fatal(err)
@@ -339,7 +339,7 @@ func TestDiskGCSplitsExpiredAndEvicted(t *testing.T) {
 	if s.Expired != 1 || s.Evictions != 1 || s.Entries != 1 {
 		t.Fatalf("stats = %+v, want Expired=1 Evictions=1 Entries=1", s)
 	}
-	if _, ok := d.Get(fkey("fNew", "ck")); !ok {
+	if _, ok := d.Get(bg, fkey("fNew", "ck")); !ok {
 		t.Fatal("newest entry did not survive the combined sweep")
 	}
 }

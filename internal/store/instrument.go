@@ -1,0 +1,179 @@
+package store
+
+import (
+	"context"
+	"time"
+
+	"knighter/internal/engine"
+	"knighter/internal/obs"
+)
+
+// Instrumented wraps a Store with per-tier metrics: request totals,
+// hit/miss/put counters, operation latency histograms, and coalesced
+// computation counts, all labeled by tier name. kserve wraps every tier
+// of its composition (memory, remote, disk, and the coalescing
+// composite) so /metrics answers the question /stats cannot: not just
+// how often the cache hits, but WHERE — and how long each tier's
+// answer takes, which is the number that exposes a degraded remote tier
+// hiding behind its circuit breaker.
+//
+// The wrapper forwards every optional Store extension. Wrapping a tier
+// that lacks one degrades the same way the unwrapped tier would:
+// invalidation falls through to zero, and GetOrCompute falls back to
+// get-compute-put without coalescing.
+type Instrumented struct {
+	st   Store
+	tier string
+
+	coalesced *obs.Counter
+	getDur    *obs.Histogram
+	putDur    *obs.Histogram
+
+	// sampleMask throttles the latency histograms: an op is timed only
+	// when its key's leading hash nibble masks to zero, so mask 0 times
+	// everything and mask 2^n-1 times one key in 2^n. Counters always
+	// count every op.
+	sampleMask uint8
+}
+
+// SampleLatency makes the wrapper time only one in 2^shift operations
+// (counters still see every op; shift is capped at 4) and returns the
+// wrapper for chaining. The latency histograms then hold a uniform
+// sample — the distribution is intact, only _count is smaller than
+// requests_total. Use it on tiers whose per-op cost is comparable to
+// reading the clock (the in-memory tier, the coalescing wrapper):
+// timing a ~1µs hit twice per layer is how an observability layer eats
+// the cache speedup it was built to explain. Remote and disk tiers
+// keep full timing — their ops are orders of magnitude above the
+// sampling overhead.
+func (i *Instrumented) SampleLatency(shift uint) *Instrumented {
+	if shift > 4 {
+		shift = 4
+	}
+	i.sampleMask = 1<<shift - 1
+	return i
+}
+
+// sampled reports whether this op's latency should be measured. The
+// decision derives from the key's content address rather than a shared
+// counter, so the fast path touches no shared cache line: the leading
+// hex nibble of the function hash is uniform over keys.
+func (i *Instrumented) sampled(k Key) bool {
+	if i.sampleMask == 0 || len(k.FuncHash) == 0 {
+		return true
+	}
+	c := k.FuncHash[0]
+	var nib uint8
+	switch {
+	case c >= '0' && c <= '9':
+		nib = c - '0'
+	case c >= 'a' && c <= 'f':
+		nib = c - 'a' + 10
+	case c >= 'A' && c <= 'F':
+		nib = c - 'A' + 10
+	default:
+		nib = c
+	}
+	return nib&i.sampleMask == 0
+}
+
+// Instrument wraps st with metrics registered in reg under the shared
+// per-tier families (store_requests_total{tier=...} and friends), so
+// every tier of a composition lands in the same exposition series.
+//
+// The request/hit/miss/put series are callback-backed: every tier
+// already counts those events in its own Stats() atomics — the counters
+// /stats has always read — so the wrapper reads them at scrape time
+// instead of maintaining a second copy. Keeping duplicate counters in
+// the wrapper cost a fully warm scan ~8% in contended counter updates;
+// the callback design makes the counting free because the tiers were
+// paying for it anyway.
+func Instrument(reg *obs.Registry, tier string, st Store) *Instrumented {
+	stat := func(pick func(Stats) int64) func() float64 {
+		return func() float64 { return float64(pick(st.Stats())) }
+	}
+	reg.CounterVec("store_requests_total",
+		"Store operations (gets + puts) that reached the tier.", "tier").
+		WithFunc(stat(func(s Stats) int64 { return s.Hits + s.Misses + s.Puts }), tier)
+	reg.CounterVec("store_hits_total", "Gets answered by the tier.", "tier").
+		WithFunc(stat(func(s Stats) int64 { return s.Hits }), tier)
+	reg.CounterVec("store_misses_total", "Gets the tier could not answer.", "tier").
+		WithFunc(stat(func(s Stats) int64 { return s.Misses }), tier)
+	reg.CounterVec("store_puts_total", "Results written to the tier.", "tier").
+		WithFunc(stat(func(s Stats) int64 { return s.Puts }), tier)
+	coalesced := reg.CounterVec("store_coalesced_total",
+		"Computations saved by sharing another request's in-flight result.", "tier")
+	opDur := reg.HistogramVec("store_op_duration_seconds",
+		"Latency of one store operation against the tier.", nil, "tier", "op")
+	return &Instrumented{
+		st:        st,
+		tier:      tier,
+		coalesced: coalesced.With(tier),
+		getDur:    opDur.With(tier, "get"),
+		putDur:    opDur.With(tier, "put"),
+	}
+}
+
+// Inner returns the wrapped store.
+func (i *Instrumented) Inner() Store { return i.st }
+
+// Get implements Store. The tier counts the hit or miss itself (its
+// Stats() backs the exposed counters); the wrapper only times the op,
+// and only for sampled keys — the unsampled fast path touches no shared
+// state at all.
+func (i *Instrumented) Get(ctx context.Context, k Key) (*engine.Result, bool) {
+	if !i.sampled(k) {
+		return i.st.Get(ctx, k)
+	}
+	start := time.Now()
+	r, ok := i.st.Get(ctx, k)
+	i.getDur.Observe(time.Since(start).Seconds())
+	return r, ok
+}
+
+// Put implements Store.
+func (i *Instrumented) Put(ctx context.Context, k Key, r *engine.Result) {
+	if !i.sampled(k) {
+		i.st.Put(ctx, k, r)
+		return
+	}
+	start := time.Now()
+	i.st.Put(ctx, k, r)
+	i.putDur.Observe(time.Since(start).Seconds())
+}
+
+// Stats implements Store by forwarding — the wrapper adds exposition,
+// never its own view of the counters.
+func (i *Instrumented) Stats() Stats { return i.st.Stats() }
+
+// GetOrCompute implements ComputeCoalescer, forwarding when the wrapped
+// tier coalesces and falling back to get-compute-put when it does not.
+// Shared results count into store_coalesced_total{tier=...}.
+func (i *Instrumented) GetOrCompute(ctx context.Context, k Key, compute func() (*engine.Result, bool)) (*engine.Result, bool) {
+	if co, ok := i.st.(ComputeCoalescer); ok {
+		r, shared := co.GetOrCompute(ctx, k, compute)
+		if shared {
+			i.coalesced.Inc()
+		}
+		return r, shared
+	}
+	if r, ok := i.Get(ctx, k); ok {
+		return r, false
+	}
+	r, cacheable := compute()
+	if cacheable {
+		i.Put(ctx, k, r)
+	}
+	return r, false
+}
+
+// InvalidateFunc implements Invalidator by forwarding through the
+// widest invalidation interface the wrapped tier supports.
+func (i *Instrumented) InvalidateFunc(funcHash string) int {
+	return i.InvalidateFuncs([]string{funcHash})
+}
+
+// InvalidateFuncs implements BulkInvalidator the same way.
+func (i *Instrumented) InvalidateFuncs(funcHashes []string) int {
+	return invalidateAll(i.st, funcHashes)
+}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"container/list"
+	"context"
 	"encoding/json"
 	"sync"
 
@@ -63,8 +64,9 @@ func NewMemory(maxBytes int64) *Memory {
 	}
 }
 
-// Get implements Store.
-func (m *Memory) Get(k Key) (*engine.Result, bool) {
+// Get implements Store. The context is unused — a map lookup has no
+// network wait to abort.
+func (m *Memory) Get(_ context.Context, k Key) (*engine.Result, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	el, ok := m.entries[k.ID()]
@@ -78,7 +80,7 @@ func (m *Memory) Get(k Key) (*engine.Result, bool) {
 }
 
 // Put implements Store.
-func (m *Memory) Put(k Key, r *engine.Result) {
+func (m *Memory) Put(_ context.Context, k Key, r *engine.Result) {
 	if r == nil {
 		return
 	}

@@ -2,6 +2,7 @@ package store
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"knighter/internal/engine"
+	"knighter/internal/obs"
 )
 
 // Remote is the network cache tier: an HTTP client for a kcached daemon,
@@ -139,6 +141,16 @@ func (r *Remote) success() {
 	r.mu.Unlock()
 }
 
+// abandon releases a request slot without judging the daemon: the
+// caller's context was canceled mid-flight, which says nothing about
+// kcached's health, so neither the consecutive-failure count nor the
+// probe state should move toward (or away from) opening the breaker.
+func (r *Remote) abandon() {
+	r.mu.Lock()
+	r.probing = false
+	r.mu.Unlock()
+}
+
 // failure records a failed round-trip, opening the breaker at the
 // threshold (and immediately re-opening it when a probe fails).
 func (r *Remote) failure() {
@@ -155,15 +167,48 @@ func (r *Remote) failure() {
 	r.mu.Unlock()
 }
 
-// Get implements Store. Any failure is a miss.
-func (r *Remote) Get(k Key) (*engine.Result, bool) {
+// newRequest builds one round-trip's request, carrying the caller's
+// trace id (if any) so the kcached access log can be stitched to the
+// originating kserve request.
+func (r *Remote) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := http.NewRequestWithContext(ctx, method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	return req, nil
+}
+
+// Get implements Store. Any failure is a miss. The caller's context
+// both propagates the trace id and aborts the network wait when the
+// caller is gone — a cancellation-aborted Get is a miss that does NOT
+// count against the breaker (the daemon did nothing wrong; the client
+// hung up).
+func (r *Remote) Get(ctx context.Context, k Key) (*engine.Result, bool) {
 	if !r.allow() {
 		r.count(func(s *Stats) { s.Misses++ })
 		return nil, false
 	}
-	resp, err := r.client.Get(r.entryURL(k))
+	req, err := r.newRequest(ctx, http.MethodGet, r.entryURL(k), nil)
 	if err != nil {
-		r.failure()
+		r.abandon()
+		r.count(func(s *Stats) { s.Misses++ })
+		return nil, false
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		if req.Context().Err() != nil {
+			// Aborted by the caller, not failed by the daemon: release the
+			// probe slot without moving the breaker either way.
+			r.abandon()
+		} else {
+			r.failure()
+		}
 		r.count(func(s *Stats) { s.Misses++ })
 		return nil, false
 	}
@@ -208,8 +253,11 @@ func (r *Remote) Get(k Key) (*engine.Result, bool) {
 // Put implements Store. Best-effort: failures are dropped silently
 // (beyond breaker accounting). Timed-out and canceled results are never
 // sent — the daemon would reject them with a 400 that counts against
-// our breaker.
-func (r *Remote) Put(k Key, res *engine.Result) {
+// our breaker. The publish deliberately detaches from the caller's
+// cancellation (keeping its trace id): the computed bytes are valid for
+// the whole fleet even if this caller just disconnected, and an aborted
+// publish would read as a daemon failure to the breaker.
+func (r *Remote) Put(ctx context.Context, k Key, res *engine.Result) {
 	if res == nil || res.TimedOut || res.Canceled || !r.allow() {
 		return
 	}
@@ -217,7 +265,10 @@ func (r *Remote) Put(k Key, res *engine.Result) {
 	if err != nil {
 		return
 	}
-	req, err := http.NewRequest(http.MethodPut, r.entryURL(k), bytes.NewReader(data))
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	req, err := r.newRequest(context.WithoutCancel(ctx), http.MethodPut, r.entryURL(k), bytes.NewReader(data))
 	if err != nil {
 		return
 	}

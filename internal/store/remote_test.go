@@ -34,11 +34,11 @@ func TestRemoteRoundTrip(t *testing.T) {
 	ts := newCacheTS(t, back)
 	r := newRemote(t, ts.URL, RemoteConfig{})
 
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("empty remote hit")
 	}
-	r.Put(key(1), result("one"))
-	got, ok := r.Get(key(1))
+	r.Put(bg, key(1), result("one"))
+	got, ok := r.Get(bg, key(1))
 	if !ok {
 		t.Fatal("miss after put")
 	}
@@ -50,7 +50,7 @@ func TestRemoteRoundTrip(t *testing.T) {
 	// The result must be served from the backing store, not a client
 	// cache: a second client sees it too.
 	r2 := newRemote(t, ts.URL, RemoteConfig{})
-	if _, ok := r2.Get(key(1)); !ok {
+	if _, ok := r2.Get(bg, key(1)); !ok {
 		t.Fatal("second client missed an entry the first stored")
 	}
 	rs := r.RemoteStats()
@@ -64,16 +64,16 @@ func TestRemoteInvalidate(t *testing.T) {
 	ts := newCacheTS(t, back)
 	r := newRemote(t, ts.URL, RemoteConfig{})
 
-	r.Put(fkey("fA", "ck1"), result("a1"))
-	r.Put(fkey("fA", "ck2"), result("a2"))
-	r.Put(fkey("fB", "ck1"), result("b1"))
+	r.Put(bg, fkey("fA", "ck1"), result("a1"))
+	r.Put(bg, fkey("fA", "ck2"), result("a2"))
+	r.Put(bg, fkey("fB", "ck1"), result("b1"))
 	if n := r.InvalidateFuncs([]string{"fA"}); n != 2 {
 		t.Fatalf("invalidated %d entries, want 2", n)
 	}
-	if _, ok := r.Get(fkey("fA", "ck1")); ok {
+	if _, ok := r.Get(bg, fkey("fA", "ck1")); ok {
 		t.Fatal("fA/ck1 survived invalidation")
 	}
-	if _, ok := r.Get(fkey("fB", "ck1")); !ok {
+	if _, ok := r.Get(bg, fkey("fB", "ck1")); !ok {
 		t.Fatal("fB/ck1 dropped by unrelated invalidation")
 	}
 }
@@ -156,7 +156,7 @@ func TestRemoteServerRejectsUncacheablePut(t *testing.T) {
 	}
 	// The client side never even sends one.
 	r := newRemote(t, ts.URL, RemoteConfig{})
-	r.Put(fkey("fX", "ck"), &engine.Result{Truncated: true, TimedOut: true})
+	r.Put(bg, fkey("fX", "ck"), &engine.Result{Truncated: true, TimedOut: true})
 	if rs := r.RemoteStats(); rs.Puts != 0 || rs.Errors != 0 {
 		t.Fatalf("client sent an uncacheable result: %+v", rs)
 	}
@@ -173,7 +173,7 @@ func TestRemoteFlaggedEntryIsMiss(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 	r := newRemote(t, ts.URL, RemoteConfig{})
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("flagged entry served as a hit")
 	}
 	rs := r.RemoteStats()
@@ -190,10 +190,10 @@ func TestRemoteDownIsMissNotError(t *testing.T) {
 	ts.Close() // nothing listening at url now
 
 	r := newRemote(t, url, RemoteConfig{Timeout: 200 * time.Millisecond})
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("dead daemon produced a hit")
 	}
-	r.Put(key(1), result("one")) // must not panic
+	r.Put(bg, key(1), result("one")) // must not panic
 	if n := r.InvalidateFuncs([]string{"fA"}); n != 0 {
 		t.Fatalf("dead daemon invalidated %d entries", n)
 	}
@@ -212,7 +212,7 @@ func TestRemoteCorruptPayloadIsMiss(t *testing.T) {
 	}))
 	t.Cleanup(ts.Close)
 	r := newRemote(t, ts.URL, RemoteConfig{})
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("corrupt payload produced a hit")
 	}
 	if rs := r.RemoteStats(); rs.Errors != 1 {
@@ -230,7 +230,7 @@ func TestRemoteTimeoutIsMiss(t *testing.T) {
 	t.Cleanup(func() { close(release); ts.Close() })
 	r := newRemote(t, ts.URL, RemoteConfig{Timeout: 50 * time.Millisecond})
 	start := time.Now()
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("stalled daemon produced a hit")
 	}
 	if elapsed := time.Since(start); elapsed > 2*time.Second {
@@ -266,7 +266,7 @@ func TestRemoteBreakerOpensAndRecloses(t *testing.T) {
 
 	// Trip the breaker.
 	for i := 0; i < 3; i++ {
-		if _, ok := r.Get(key(1)); ok {
+		if _, ok := r.Get(bg, key(1)); ok {
 			t.Fatal("unhealthy daemon produced a hit")
 		}
 	}
@@ -278,7 +278,7 @@ func TestRemoteBreakerOpensAndRecloses(t *testing.T) {
 	// While open (within cooldown), requests short-circuit locally.
 	before := requests.Load()
 	for i := 0; i < 10; i++ {
-		r.Get(key(1))
+		r.Get(bg, key(1))
 	}
 	if got := requests.Load(); got != before {
 		t.Fatalf("open breaker let %d requests through", got-before)
@@ -288,8 +288,8 @@ func TestRemoteBreakerOpensAndRecloses(t *testing.T) {
 	// fails, and re-opens the circuit.
 	time.Sleep(60 * time.Millisecond)
 	before = requests.Load()
-	r.Get(key(1))
-	r.Get(key(1))
+	r.Get(bg, key(1))
+	r.Get(bg, key(1))
 	if got := requests.Load() - before; got != 1 {
 		t.Fatalf("half-open breaker sent %d requests, want 1 probe", got)
 	}
@@ -298,14 +298,14 @@ func TestRemoteBreakerOpensAndRecloses(t *testing.T) {
 	// miss is a healthy answer) and the breaker closes for good.
 	healthy.Store(true)
 	time.Sleep(60 * time.Millisecond)
-	if _, ok := r.Get(key(1)); ok {
+	if _, ok := r.Get(bg, key(1)); ok {
 		t.Fatal("hit on an entry never stored")
 	}
 	if rs := r.RemoteStats(); rs.BreakerOpen {
 		t.Fatalf("breaker still open after healthy probe: %+v", rs)
 	}
-	r.Put(key(1), result("one"))
-	if _, ok := r.Get(key(1)); !ok {
+	r.Put(bg, key(1), result("one"))
+	if _, ok := r.Get(bg, key(1)); !ok {
 		t.Fatal("recovered daemon missed a stored entry")
 	}
 }
@@ -330,7 +330,7 @@ func TestTieredWithRemotePromotesAndPublishes(t *testing.T) {
 	mem := NewMemory(0)
 	tiered := NewTiered(mem, r)
 
-	tiered.Put(key(1), result("one"))
+	tiered.Put(bg, key(1), result("one"))
 	if back.Stats().Puts != 1 {
 		t.Fatal("local Put not published to the daemon")
 	}
@@ -339,7 +339,7 @@ func TestTieredWithRemotePromotesAndPublishes(t *testing.T) {
 	// promoted into its memory tier.
 	mem2 := NewMemory(0)
 	tiered2 := NewTiered(mem2, newRemote(t, ts.URL, RemoteConfig{}))
-	if _, ok := tiered2.Get(key(1)); !ok {
+	if _, ok := tiered2.Get(bg, key(1)); !ok {
 		t.Fatal("fresh replica missed its sibling's entry")
 	}
 	if mem2.Stats().Entries != 1 {

@@ -3,11 +3,13 @@ package store
 import (
 	"encoding/json"
 	"io"
+	"log"
 	"net/http"
 	"sync/atomic"
 	"time"
 
 	"knighter/internal/engine"
+	"knighter/internal/obs"
 )
 
 // maxEntryBytes bounds one serialized entry on the wire (both directions)
@@ -39,6 +41,12 @@ type CacheServer struct {
 	puts        atomic.Int64
 	invalidates atomic.Int64
 	badRequests atomic.Int64
+
+	// obs hooks, nil until Register is called: entry-request counters by
+	// op and a request-latency histogram, exposed on GET /metrics.
+	entryReqs *obs.CounterVec
+	reqDur    *obs.HistogramVec
+	metrics   http.Handler
 }
 
 // NewCacheServer wraps st (typically a *Disk) in the HTTP protocol.
@@ -46,15 +54,102 @@ func NewCacheServer(st Store) *CacheServer {
 	return &CacheServer{st: st, started: time.Now()}
 }
 
+// Register wires the server's counters into reg and mounts reg's
+// exposition on GET /metrics (kcached calls this; tests may skip it).
+// The request totals that already exist as atomics for /stats are
+// exposed as counter funcs rather than double-counted.
+func (cs *CacheServer) Register(reg *obs.Registry) {
+	cs.entryReqs = reg.CounterVec("entry_requests_total",
+		"Entry requests served, by operation and outcome.", "op", "outcome")
+	cs.reqDur = reg.HistogramVec("request_duration_seconds",
+		"Wall time of one cache-protocol request.", nil, "op")
+	reg.CounterFunc("invalidate_requests_total",
+		"POST /invalidate requests served.",
+		func() float64 { return float64(cs.invalidates.Load()) })
+	reg.CounterFunc("bad_requests_total",
+		"Requests rejected before reaching the store (bad key, oversized or unparseable body, uncacheable result).",
+		func() float64 { return float64(cs.badRequests.Load()) })
+	reg.GaugeFunc("store_entries", "Live entries in the backing store.",
+		func() float64 { return float64(cs.st.Stats().Entries) })
+	reg.GaugeFunc("store_bytes", "Serialized bytes of live entries in the backing store.",
+		func() float64 { return float64(cs.st.Stats().Bytes) })
+	obs.RegisterBuildInfo(reg, func() float64 { return time.Since(cs.started).Seconds() })
+	cs.metrics = reg.Handler()
+}
+
 // Handler returns the route table.
 func (cs *CacheServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /entry/{id}", cs.handleGet)
-	mux.HandleFunc("PUT /entry/{id}", cs.handlePut)
-	mux.HandleFunc("POST /invalidate", cs.handleInvalidate)
+	mux.HandleFunc("GET /entry/{id}", cs.timed("get", cs.handleGet))
+	mux.HandleFunc("PUT /entry/{id}", cs.timed("put", cs.handlePut))
+	mux.HandleFunc("POST /invalidate", cs.timed("invalidate", cs.handleInvalidate))
 	mux.HandleFunc("GET /stats", cs.handleStats)
 	mux.HandleFunc("GET /healthz", cs.handleHealthz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if cs.metrics == nil {
+			http.Error(w, `{"error":"metrics not registered"}`, http.StatusNotFound)
+			return
+		}
+		cs.metrics.ServeHTTP(w, r)
+	})
 	return mux
+}
+
+// timed wraps a handler with the per-op latency histogram (a no-op
+// until Register).
+func (cs *CacheServer) timed(op string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		if cs.reqDur != nil {
+			cs.reqDur.With(op).Observe(time.Since(start).Seconds())
+		}
+	}
+}
+
+// countEntry records one entry-request outcome (no-op until Register).
+func (cs *CacheServer) countEntry(op, outcome string) {
+	if cs.entryReqs != nil {
+		cs.entryReqs.With(op, outcome).Inc()
+	}
+}
+
+// statusWriter captures the response code and size for access logging.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	bytes int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.code = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += n
+	return n, err
+}
+
+// AccessLog wraps h with a per-request log line carrying the method,
+// path, status, size, duration, and the request's trace id (from the
+// X-Trace-Id header; "-" when absent) — the kcached side of the fleet's
+// trace stitching: grep both daemons' logs for one id and the full
+// cross-host story of a request lines up.
+func AccessLog(l *log.Logger, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		h.ServeHTTP(sw, r)
+		tid := r.Header.Get(obs.TraceHeader)
+		if tid == "" {
+			tid = "-"
+		}
+		l.Printf("%s %s %d %dB %.3fms trace=%s",
+			r.Method, r.URL.Path, sw.code, sw.bytes,
+			float64(time.Since(start).Microseconds())/1000, tid)
+	})
 }
 
 // entryKey reconstructs the key from the query parameters and verifies it
@@ -82,11 +177,13 @@ func (cs *CacheServer) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.gets.Add(1)
-	res, ok := cs.st.Get(k)
+	res, ok := cs.st.Get(r.Context(), k)
 	if !ok {
+		cs.countEntry("get", "miss")
 		http.Error(w, `{"error":"miss"}`, http.StatusNotFound)
 		return
 	}
+	cs.countEntry("get", "hit")
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(res)
 }
@@ -122,7 +219,8 @@ func (cs *CacheServer) handlePut(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	cs.puts.Add(1)
-	cs.st.Put(k, &res)
+	cs.countEntry("put", "stored")
+	cs.st.Put(r.Context(), k, &res)
 	w.WriteHeader(http.StatusNoContent)
 }
 

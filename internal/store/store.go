@@ -12,6 +12,7 @@
 package store
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 
@@ -96,11 +97,16 @@ func (s Stats) Add(other Stats) Stats {
 // for concurrent use and must return results that are semantically
 // identical to what was stored (Get always hands back an independent
 // clone, so callers may append to or re-sort the result's slices).
+//
+// Every operation carries the request context: local tiers ignore it,
+// but the remote tier uses it to propagate the request's trace id to
+// kcached and to stop waiting on the network when the caller is gone.
+// A nil context is treated as context.Background().
 type Store interface {
 	// Get returns the cached result for k, or (nil, false).
-	Get(k Key) (*engine.Result, bool)
+	Get(ctx context.Context, k Key) (*engine.Result, bool)
 	// Put stores r under k, overwriting any previous entry.
-	Put(k Key, r *engine.Result)
+	Put(ctx context.Context, k Key, r *engine.Result)
 	// Stats snapshots the tier's counters.
 	Stats() Stats
 }

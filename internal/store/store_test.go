@@ -49,11 +49,11 @@ func TestKeyIDVariesPerComponent(t *testing.T) {
 
 func TestMemoryRoundTrip(t *testing.T) {
 	m := NewMemory(0)
-	if _, ok := m.Get(key(1)); ok {
+	if _, ok := m.Get(bg, key(1)); ok {
 		t.Fatal("empty store hit")
 	}
-	m.Put(key(1), result("one"))
-	got, ok := m.Get(key(1))
+	m.Put(bg, key(1), result("one"))
+	got, ok := m.Get(bg, key(1))
 	if !ok {
 		t.Fatal("miss after put")
 	}
@@ -70,11 +70,11 @@ func TestMemoryRoundTrip(t *testing.T) {
 
 func TestMemoryGetReturnsIndependentClone(t *testing.T) {
 	m := NewMemory(0)
-	m.Put(key(1), result("one"))
-	got, _ := m.Get(key(1))
+	m.Put(bg, key(1), result("one"))
+	got, _ := m.Get(bg, key(1))
 	got.Reports = got.Reports[:0] // caller truncates its copy
 	got.RuntimeErrs = append(got.RuntimeErrs, engine.RuntimeErr{Func: "x"})
-	again, _ := m.Get(key(1))
+	again, _ := m.Get(bg, key(1))
 	if len(again.Reports) != 1 || len(again.RuntimeErrs) != 1 {
 		t.Fatalf("cached entry corrupted by caller mutation: %+v", again)
 	}
@@ -86,17 +86,17 @@ func TestMemoryLRUEvictionByWeight(t *testing.T) {
 	// least recently used entry.
 	w := weigh(result("1"))
 	m := NewMemory(2*w + w/2)
-	m.Put(key(1), result("1"))
-	m.Put(key(2), result("2"))
-	m.Get(key(1)) // 1 is now most recently used
-	m.Put(key(3), result("3"))
-	if _, ok := m.Get(key(2)); ok {
+	m.Put(bg, key(1), result("1"))
+	m.Put(bg, key(2), result("2"))
+	m.Get(bg, key(1)) // 1 is now most recently used
+	m.Put(bg, key(3), result("3"))
+	if _, ok := m.Get(bg, key(2)); ok {
 		t.Fatal("LRU entry 2 should have been evicted")
 	}
-	if _, ok := m.Get(key(1)); !ok {
+	if _, ok := m.Get(bg, key(1)); !ok {
 		t.Fatal("recently used entry 1 evicted")
 	}
-	if _, ok := m.Get(key(3)); !ok {
+	if _, ok := m.Get(bg, key(3)); !ok {
 		t.Fatal("new entry 3 missing")
 	}
 	if s := m.Stats(); s.Evictions != 1 || s.Entries != 2 || s.Bytes != 2*w {
@@ -107,13 +107,13 @@ func TestMemoryLRUEvictionByWeight(t *testing.T) {
 func TestMemoryWeightAccounting(t *testing.T) {
 	m := NewMemory(0)
 	w1 := weigh(result("one"))
-	m.Put(key(1), result("one"))
+	m.Put(bg, key(1), result("one"))
 	if s := m.Stats(); s.Bytes != w1 {
 		t.Fatalf("bytes after one put = %d, want %d", s.Bytes, w1)
 	}
 	// Overwriting an entry replaces its weight, not adds to it.
 	w2 := weigh(result("a-rather-longer-message"))
-	m.Put(key(1), result("a-rather-longer-message"))
+	m.Put(bg, key(1), result("a-rather-longer-message"))
 	if s := m.Stats(); s.Bytes != w2 || s.Entries != 1 {
 		t.Fatalf("bytes after overwrite = %+v, want %d in 1 entry", s, w2)
 	}
@@ -129,29 +129,29 @@ func TestMemoryKeepsOversizedNewestEntry(t *testing.T) {
 	// everything else): refusing it would disable caching for exactly the
 	// most expensive functions.
 	m := NewMemory(1)
-	m.Put(key(1), result("huge"))
-	if _, ok := m.Get(key(1)); !ok {
+	m.Put(bg, key(1), result("huge"))
+	if _, ok := m.Get(bg, key(1)); !ok {
 		t.Fatal("oversized entry rejected outright")
 	}
-	m.Put(key(2), result("also-huge"))
-	if _, ok := m.Get(key(1)); ok {
+	m.Put(bg, key(2), result("also-huge"))
+	if _, ok := m.Get(bg, key(1)); ok {
 		t.Fatal("over-budget tier kept two entries")
 	}
-	if _, ok := m.Get(key(2)); !ok {
+	if _, ok := m.Get(bg, key(2)); !ok {
 		t.Fatal("newest entry evicted")
 	}
 }
 
 func TestMemoryBulkInvalidateOnePass(t *testing.T) {
 	m := NewMemory(0)
-	m.Put(Key{FuncHash: "fA", CheckerFP: "c1", EngineFP: "e"}, result("a1"))
-	m.Put(Key{FuncHash: "fA", CheckerFP: "c2", EngineFP: "e"}, result("a2"))
-	m.Put(Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}, result("b"))
-	m.Put(Key{FuncHash: "fC", CheckerFP: "c1", EngineFP: "e"}, result("c"))
+	m.Put(bg, Key{FuncHash: "fA", CheckerFP: "c1", EngineFP: "e"}, result("a1"))
+	m.Put(bg, Key{FuncHash: "fA", CheckerFP: "c2", EngineFP: "e"}, result("a2"))
+	m.Put(bg, Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}, result("b"))
+	m.Put(bg, Key{FuncHash: "fC", CheckerFP: "c1", EngineFP: "e"}, result("c"))
 	if n := m.InvalidateFuncs([]string{"fA", "fC", "no-such-hash"}); n != 3 {
 		t.Fatalf("bulk invalidation dropped %d entries, want 3", n)
 	}
-	if _, ok := m.Get(Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}); !ok {
+	if _, ok := m.Get(bg, Key{FuncHash: "fB", CheckerFP: "c1", EngineFP: "e"}); !ok {
 		t.Fatal("unrelated entry dropped by bulk invalidation")
 	}
 	if s := m.Stats(); s.Invalidated != 3 || s.Entries != 1 {
@@ -165,8 +165,8 @@ func TestDiskRoundTripByteIdentical(t *testing.T) {
 		t.Fatal(err)
 	}
 	in := result("disk")
-	d.Put(key(1), in)
-	got, ok := d.Get(key(1))
+	d.Put(bg, key(1), in)
+	got, ok := d.Get(bg, key(1))
 	if !ok {
 		t.Fatal("miss after put")
 	}
@@ -186,27 +186,27 @@ func TestTieredPromotesDiskHits(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	disk.Put(key(1), result("warm-from-disk"))
+	disk.Put(bg, key(1), result("warm-from-disk"))
 	tiered := NewTiered(mem, disk)
 
-	if _, ok := tiered.Get(key(1)); !ok {
+	if _, ok := tiered.Get(bg, key(1)); !ok {
 		t.Fatal("tiered miss on disk-resident entry")
 	}
 	if s := mem.Stats(); s.Puts != 1 {
 		t.Fatalf("disk hit not promoted to memory: %+v", s)
 	}
-	if _, ok := tiered.Get(key(1)); !ok {
+	if _, ok := tiered.Get(bg, key(1)); !ok {
 		t.Fatal("miss after promotion")
 	}
 	if s := tiered.Stats(); s.Hits != 2 || s.Misses != 0 {
 		t.Fatalf("tiered stats = %+v", s)
 	}
 
-	tiered.Put(key(2), result("two"))
-	if _, ok := mem.Get(key(2)); !ok {
+	tiered.Put(bg, key(2), result("two"))
+	if _, ok := mem.Get(bg, key(2)); !ok {
 		t.Fatal("put did not reach memory tier")
 	}
-	if _, ok := disk.Get(key(2)); !ok {
+	if _, ok := disk.Get(bg, key(2)); !ok {
 		t.Fatal("put did not reach disk tier")
 	}
 }

@@ -1,6 +1,7 @@
 package store
 
 import (
+	"context"
 	"sync"
 
 	"knighter/internal/engine"
@@ -22,13 +23,13 @@ func NewTiered(front, back Store) *Tiered {
 }
 
 // Get implements Store.
-func (t *Tiered) Get(k Key) (*engine.Result, bool) {
-	if r, ok := t.front.Get(k); ok {
+func (t *Tiered) Get(ctx context.Context, k Key) (*engine.Result, bool) {
+	if r, ok := t.front.Get(ctx, k); ok {
 		t.count(func(s *Stats) { s.Hits++ })
 		return r, true
 	}
-	if r, ok := t.back.Get(k); ok {
-		t.front.Put(k, r)
+	if r, ok := t.back.Get(ctx, k); ok {
+		t.front.Put(ctx, k, r)
 		t.count(func(s *Stats) { s.Hits++ })
 		return r, true
 	}
@@ -37,9 +38,9 @@ func (t *Tiered) Get(k Key) (*engine.Result, bool) {
 }
 
 // Put implements Store.
-func (t *Tiered) Put(k Key, r *engine.Result) {
-	t.front.Put(k, r)
-	t.back.Put(k, r)
+func (t *Tiered) Put(ctx context.Context, k Key, r *engine.Result) {
+	t.front.Put(ctx, k, r)
+	t.back.Put(ctx, k, r)
 	t.count(func(s *Stats) { s.Puts++ })
 }
 
