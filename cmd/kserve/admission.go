@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/obs"
 )
 
@@ -49,26 +50,33 @@ type admission struct {
 	// request waited for an inflight slot (fast-path admissions count as
 	// zero, so the distribution reflects what clients actually see).
 	waitDur *obs.Histogram
+
+	// generation, when set, stamps shed responses with the corpus
+	// generation the daemon was serving at shed time (nil-safe: sheds
+	// before the server is wired report generation 0).
+	generation func() int64
 }
 
-// register exposes the gate on /metrics: instantaneous queue depth and
-// inflight gauges, cumulative admitted/shed counters, and the
-// queue-wait histogram. Nil-safe so ungated daemons skip it.
-func (a *admission) register(reg *obs.Registry) {
+// register exposes the gate on /metrics under the given name prefix
+// (e.g. "admission" for the read gate, "write_admission" for the write
+// gate): instantaneous queue depth and inflight gauges, cumulative
+// admitted/shed counters, and the queue-wait histogram. Nil-safe so
+// ungated daemons skip it.
+func (a *admission) register(reg *obs.Registry, prefix string) {
 	if a == nil {
 		return
 	}
-	reg.GaugeFunc("admission_queue_depth", "Requests currently waiting for an inflight slot.",
+	reg.GaugeFunc(prefix+"_queue_depth", "Requests currently waiting for an inflight slot.",
 		func() float64 { return float64(a.queued.Load()) })
-	reg.GaugeFunc("admission_inflight", "Requests currently executing behind the gate.",
+	reg.GaugeFunc(prefix+"_inflight", "Requests currently executing behind the gate.",
 		func() float64 { return float64(a.inflight.Load()) })
-	reg.CounterFunc("admission_admitted_total", "Requests admitted through the gate.",
+	reg.CounterFunc(prefix+"_admitted_total", "Requests admitted through the gate.",
 		func() float64 { return float64(a.admitted.Load()) })
-	reg.CounterFunc("admission_shed_total", "Requests shed with 429 (queue full or per-client bound).",
+	reg.CounterFunc(prefix+"_shed_total", "Requests shed with 429 (queue full or per-client bound).",
 		func() float64 { return float64(a.shed.Load()) })
-	reg.CounterFunc("admission_fairness_shed_total", "Sheds caused by the per-client bound alone.",
+	reg.CounterFunc(prefix+"_fairness_shed_total", "Sheds caused by the per-client bound alone.",
 		func() float64 { return float64(a.fairShed.Load()) })
-	a.waitDur = reg.Histogram("admission_wait_seconds",
+	a.waitDur = reg.Histogram(prefix+"_wait_seconds",
 		"Queue wait of each admitted request; fast-path admissions observe zero.", nil)
 }
 
@@ -144,8 +152,17 @@ func (a *admission) retryAfterSeconds() int {
 
 func (a *admission) shedRequest(w http.ResponseWriter, msg string) {
 	a.shed.Add(1)
-	w.Header().Set("Retry-After", strconv.Itoa(a.retryAfterSeconds()))
-	httpError(w, http.StatusTooManyRequests, msg)
+	secs := a.retryAfterSeconds()
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	var gen int64
+	if a.generation != nil {
+		gen = a.generation()
+	}
+	writeErrorEnvelope(w, http.StatusTooManyRequests, &api.Error{
+		Code:         api.ErrOverloaded,
+		Message:      msg,
+		RetryAfterMS: int64(secs) * 1000,
+	}, gen)
 }
 
 // wrap gates h behind the admission queue. A nil *admission is a no-op,
@@ -209,30 +226,16 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
-// admissionStats is the GET /stats view of the gate.
-type admissionStats struct {
-	MaxInflight        int   `json:"max_inflight"`
-	MaxQueued          int64 `json:"max_queued"`
-	MaxQueuedPerClient int64 `json:"max_queued_per_client,omitempty"`
-	Inflight           int64 `json:"inflight"`
-	Queued             int64 `json:"queued"`
-	QueuedClients      int   `json:"queued_clients"`
-	Admitted           int64 `json:"admitted"`
-	Shed               int64 `json:"shed"`
-	// FairnessShed counts sheds caused by the per-client bound alone —
-	// requests that would have queued had another client sent them.
-	FairnessShed int64 `json:"fairness_shed"`
-}
-
-// snapshot returns the current counters, or nil when gating is off.
-func (a *admission) snapshot() *admissionStats {
+// snapshot returns the current counters as the /stats wire shape, or
+// nil when gating is off.
+func (a *admission) snapshot() *api.AdmissionStats {
 	if a == nil {
 		return nil
 	}
 	a.cmu.Lock()
 	clients := len(a.queuedByClient)
 	a.cmu.Unlock()
-	return &admissionStats{
+	return &api.AdmissionStats{
 		MaxInflight:        cap(a.tokens),
 		MaxQueued:          a.maxQueued,
 		MaxQueuedPerClient: a.maxQueuedPerClient,

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/kernel"
 	"knighter/internal/minic"
 	"knighter/internal/scan"
@@ -54,7 +55,7 @@ func newFleetReplica(t *testing.T, kcURL string, rcfg store.RemoteConfig) (*serv
 	return srv, ts
 }
 
-func reportsJSON(t *testing.T, resp *scanResponse) string {
+func reportsJSON(t *testing.T, resp *api.ScanResponse) string {
 	t.Helper()
 	data, err := json.Marshal(resp.Reports)
 	if err != nil {
@@ -72,7 +73,7 @@ func TestFleetSecondReplicaScansWarm(t *testing.T) {
 	srvA, tsA := newFleetReplica(t, kc.URL, store.RemoteConfig{})
 	srvB, tsB := newFleetReplica(t, kc.URL, store.RemoteConfig{})
 
-	a := postScan(t, tsA, scanRequest{Checker: testChecker})
+	a := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
 	if a.Cache.Hits != 0 {
 		t.Fatalf("replica A's cold scan hit %d times", a.Cache.Hits)
 	}
@@ -80,7 +81,7 @@ func TestFleetSecondReplicaScansWarm(t *testing.T) {
 		t.Fatalf("replica A published nothing to the shared tier: %+v", rs)
 	}
 
-	b := postScan(t, tsB, scanRequest{Checker: testChecker})
+	b := postScan(t, tsB, api.ScanRequest{Checker: testChecker})
 	if b.Cache.HitRate < 0.9 {
 		t.Fatalf("replica B's first scan hit rate = %.2f, want >= 0.9 (hits=%d misses=%d)",
 			b.Cache.HitRate, b.Cache.Hits, b.Cache.Misses)
@@ -96,7 +97,7 @@ func TestFleetSecondReplicaScansWarm(t *testing.T) {
 	// B's hits were promoted into its memory tier: a re-scan no longer
 	// touches the network.
 	before := srvB.remote.RemoteStats().Hits
-	again := postScan(t, tsB, scanRequest{Checker: testChecker})
+	again := postScan(t, tsB, api.ScanRequest{Checker: testChecker})
 	if again.Cache.Misses != 0 {
 		t.Fatalf("replica B's re-scan missed %d times", again.Cache.Misses)
 	}
@@ -119,17 +120,17 @@ func TestFleetKcachedDeathDegradesToLocal(t *testing.T) {
 	_, tsA := newFleetReplica(t, kc.URL, rcfg)
 	_, tsB := newFleetReplica(t, kc.URL, rcfg)
 
-	a := postScan(t, tsA, scanRequest{Checker: testChecker})
+	a := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
 
 	kc.Close() // the daemon dies
 
 	// A's entries are in its memory tier; B is completely cold and every
 	// remote lookup fails. Both must still answer 200 with full results.
-	a2 := postScan(t, tsA, scanRequest{Checker: testChecker})
+	a2 := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
 	if got, want := reportsJSON(t, a2), reportsJSON(t, a); got != want {
 		t.Fatal("replica A's post-death scan differs from its pre-death scan")
 	}
-	b := postScan(t, tsB, scanRequest{Checker: testChecker}) // postScan fails the test on any non-200
+	b := postScan(t, tsB, api.ScanRequest{Checker: testChecker}) // postScan fails the test on any non-200
 	if got, want := reportsJSON(t, b), reportsJSON(t, a); got != want {
 		t.Fatal("replica B's local-only scan differs from replica A's")
 	}
@@ -156,7 +157,7 @@ func TestFleetKcachedDeathDegradesToLocal(t *testing.T) {
 	}
 
 	// And replica A keeps serving warm scans indefinitely.
-	a3 := postScan(t, tsA, scanRequest{Checker: testChecker})
+	a3 := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
 	if a3.Cache.Misses != 0 {
 		t.Fatalf("replica A's warm scan missed %d times after daemon death", a3.Cache.Misses)
 	}
@@ -171,7 +172,7 @@ func TestFleetChangesetInvalidatesSharedTier(t *testing.T) {
 	srvA, tsA := newFleetReplica(t, kc.URL, store.RemoteConfig{})
 	_, tsB := newFleetReplica(t, kc.URL, store.RemoteConfig{})
 
-	postScan(t, tsA, scanRequest{Checker: testChecker}) // warm the shared tier
+	postScan(t, tsA, api.ScanRequest{Checker: testChecker}) // warm the shared tier
 	sharedBefore := disk.Stats().Entries
 	if sharedBefore == 0 {
 		t.Fatal("shared tier empty after replica A's scan")
@@ -181,14 +182,14 @@ func TestFleetChangesetInvalidatesSharedTier(t *testing.T) {
 	// fleet deployment model: an orchestrator applies each commit to
 	// every replica).
 	cb := srvA.inc.Codebase()
-	path := cb.Files[0].Name
-	fn := cb.Files[0].Funcs[len(cb.Files[0].Funcs)-1]
+	path := cb.Files()[0].Name
+	fn := cb.Files()[0].Funcs[len(cb.Files()[0].Funcs)-1]
 	src := minic.FormatFunc(fn)
 	brace := strings.Index(src, "{")
 	src = src[:brace+1] + "\n\tint fleet_probe;" + src[brace+1:]
-	change := changesetRequest{Changes: []changeJSON{{Path: path, Func: fn.Name, Source: src}}}
+	change := api.ChangesetRequest{Changes: []api.Change{{Path: path, Func: fn.Name, Source: src}}}
 
-	var csA changesetResponse
+	var csA api.ChangesetResponse
 	if code := postJSON(t, tsA, "/changeset", change, &csA); code != http.StatusOK {
 		t.Fatalf("changeset on A: status %d", code)
 	}
@@ -222,12 +223,12 @@ func TestFleetChangesetInvalidatesSharedTier(t *testing.T) {
 	if code := postJSON(t, tsRef, "/changeset", change, nil); code != http.StatusOK {
 		t.Fatal("changeset on reference replica failed")
 	}
-	want := reportsJSON(t, postScan(t, tsRef, scanRequest{Checker: testChecker}))
+	want := reportsJSON(t, postScan(t, tsRef, api.ScanRequest{Checker: testChecker}))
 
-	if got := reportsJSON(t, postScan(t, tsB, scanRequest{Checker: testChecker})); got != want {
+	if got := reportsJSON(t, postScan(t, tsB, api.ScanRequest{Checker: testChecker})); got != want {
 		t.Fatalf("replica B served stale results after the changeset:\nwant %s\ngot  %s", want, got)
 	}
-	if got := reportsJSON(t, postScan(t, tsA, scanRequest{Checker: testChecker})); got != want {
+	if got := reportsJSON(t, postScan(t, tsA, api.ScanRequest{Checker: testChecker})); got != want {
 		t.Fatal("replica A served stale results after its own changeset")
 	}
 }
@@ -243,13 +244,13 @@ func TestFleetConcurrentColdScansCoalesce(t *testing.T) {
 	// error and the test goroutine fails after the barrier.
 	const n = 4
 	var wg sync.WaitGroup
-	responses := make([]*scanResponse, n)
+	responses := make([]*api.ScanResponse, n)
 	errs := make([]error, n)
 	for i := 0; i < n; i++ {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			data, err := json.Marshal(scanRequest{Checker: testChecker})
+			data, err := json.Marshal(api.ScanRequest{Checker: testChecker})
 			if err != nil {
 				errs[i] = err
 				return
@@ -264,7 +265,7 @@ func TestFleetConcurrentColdScansCoalesce(t *testing.T) {
 				errs[i] = fmt.Errorf("POST /scan status = %d", resp.StatusCode)
 				return
 			}
-			var out scanResponse
+			var out api.ScanResponse
 			if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 				errs[i] = err
 				return

@@ -5,17 +5,28 @@
 // This is the deployment shape the paper's §5 scans want: checker
 // synthesis and refinement issue many near-identical scans of the same
 // tree, and a warm daemon answers repeats from cache instead of
-// re-executing the analyzer. The corpus is mutable in place — POST
-// /patch applies a single-file code update, POST /changeset applies a
-// commit-sized multi-file changeset atomically (one drain, one
-// generation bump), and only the touched functions go cold. POST /batch
-// evaluates N checker revisions in one request over a bounded worker
-// pool (StaAgent-style many-revision evaluation).
+// re-executing the analyzer. The corpus is multi-version: POST /patch
+// applies a single-file code update, POST /changeset applies a
+// commit-sized multi-file changeset atomically (one snapshot swap, one
+// generation bump; "async": true returns a generation token
+// immediately), and only the touched functions go cold. Scans pin an
+// immutable snapshot at admission and run lock-free, so writes never
+// stall reads and reads never drain writes. POST /batch evaluates N
+// checker revisions in one request over a bounded worker pool
+// (StaAgent-style many-revision evaluation), all against one pinned
+// snapshot.
 //
-// The scan-shaped endpoints sit behind a bounded admission queue
-// (-max-inflight, -max-queued): excess load is shed with 429 +
-// Retry-After instead of being buffered without bound, so one client
-// cannot monopolize the daemon.
+// The read endpoints (/scan, /batch) sit behind a bounded admission
+// queue (-max-inflight, -max-queued); the write endpoints (/patch,
+// /changeset) behind their own gate (-max-inflight-writes,
+// -max-queued-writes) — so a changeset storm sheds writes, never
+// reads. Excess load is shed with 429 + Retry-After instead of being
+// buffered without bound.
+//
+// Wire types live in internal/api: every response carries the corpus
+// generation (body + X-KN-Generation header), scan-shaped requests
+// accept min_generation (read-your-writes), and errors use the
+// {"error": {"code", "message", "retry_after_ms"}} envelope.
 //
 // Usage:
 //
@@ -25,15 +36,18 @@
 //	kserve -cache-remote http://cache-host:8322   # share results fleet-wide via kcached
 //	kserve -func-timeout 2s        # default per-function analysis budget
 //	kserve -max-inflight 8 -max-queued 32 -max-queued-per-client 4
+//	kserve -max-inflight-writes 1 -max-queued-writes 32
+//	kserve -min-gen-wait 2s        # bounded wait before 409 on min_generation
 //
 // Endpoints:
 //
-//	POST /scan      {"checker": "<DSL text>", "files": [...], "max_reports": n}
-//	POST /batch     {"checkers": ["<DSL>", ...], "concurrency": n, ...}
-//	POST /patch     {"path": "...", "func": "...", "source": "..."}
-//	POST /changeset {"changes": [{"path", "func?", "source"}, ...]}
-//	GET  /stats     cache + service + admission counters
-//	GET  /healthz   liveness
+//	POST /scan             {"checker": "<DSL text>", "files": [...], "min_generation": n, ...}
+//	POST /batch            {"checkers": ["<DSL>", ...], "concurrency": n, ...}
+//	POST /patch            {"path": "...", "func": "...", "source": "..."}
+//	POST /changeset        {"changes": [{"path", "func?", "source"}, ...], "async": bool}
+//	GET  /changeset/status ?generation=N  async changeset outcome
+//	GET  /stats            cache + service + admission counters
+//	GET  /healthz          liveness
 package main
 
 import (
@@ -48,11 +62,13 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"syscall"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/checker"
 	"knighter/internal/ckdsl"
 	"knighter/internal/kernel"
@@ -72,9 +88,12 @@ func main() {
 	cacheRemote := flag.String("cache-remote", "", "optional kcached URL for the shared fleet cache tier (e.g. http://cache-host:8322)")
 	cacheRemoteTimeout := flag.Duration("cache-remote-timeout", 2*time.Second, "per-request budget for the remote tier")
 	funcTimeout := flag.Duration("func-timeout", 0, "default per-function analysis budget (0 = none)")
-	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent scan-shaped requests (0 = unlimited, no admission control)")
-	maxQueued := flag.Int("max-queued", 64, "max requests waiting for an inflight slot before shedding with 429")
+	maxInflight := flag.Int("max-inflight", runtime.GOMAXPROCS(0), "max concurrent read requests (/scan, /batch) (0 = unlimited, no admission control)")
+	maxQueued := flag.Int("max-queued", 64, "max read requests waiting for an inflight slot before shedding with 429")
 	maxQueuedPerClient := flag.Int("max-queued-per-client", 16, "max queued requests per client key (X-Client-ID header or remote address; 0 = unbounded)")
+	maxInflightWrites := flag.Int("max-inflight-writes", 1, "max concurrent write requests (/patch, /changeset); writes serialize on the corpus commit lock anyway (0 = ungated)")
+	maxQueuedWrites := flag.Int("max-queued-writes", 32, "max write requests waiting before shedding with 429")
+	minGenWait := flag.Duration("min-gen-wait", 2*time.Second, "bounded wait for a request's min_generation before answering 409")
 	slowScan := flag.Duration("slow-scan", 0, "log a structured slow-request report (trace id + stage timeline) for requests slower than this (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6060); never exposed on the main port")
 	showVersion := flag.Bool("version", false, "print version and exit")
@@ -141,7 +160,10 @@ func main() {
 	srv.remote = remote
 	srv.funcTimeout = *funcTimeout
 	srv.slowScan = *slowScan
-	srv.adm = newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient)
+	srv.minGenWait = *minGenWait
+	srv.setGates(
+		newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient),
+		newAdmission(*maxInflightWrites, *maxQueuedWrites, *maxQueuedPerClient))
 	srv.registerMetrics(reg)
 	if disk != nil && (*cacheTTL > 0 || *cacheMaxBytes > 0) {
 		srv.startDiskGC(disk, *cacheTTL)
@@ -150,7 +172,10 @@ func main() {
 		log.Printf("kserve: fleet cache tier: %s", *cacheRemote)
 	}
 	if srv.adm != nil {
-		log.Printf("kserve: admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
+		log.Printf("kserve: read admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
+	}
+	if srv.wadm != nil {
+		log.Printf("kserve: write admission control: %d inflight, %d queued", *maxInflightWrites, *maxQueuedWrites)
 	}
 	if *pprofAddr != "" {
 		startPprof("kserve", *pprofAddr)
@@ -167,7 +192,7 @@ func main() {
 	go func() { errCh <- hs.ListenAndServe() }()
 	version, goVersion := obs.BuildVersion()
 	log.Printf("kserve: %s (%s) serving %d files / %d functions on %s",
-		version, goVersion, len(cb.Files), cb.NumFuncs(), *addr)
+		version, goVersion, len(cb.Files()), cb.NumFuncs(), *addr)
 	select {
 	case err := <-errCh:
 		log.Fatal("kserve: ", err)
@@ -212,8 +237,13 @@ type server struct {
 	// funcTimeout is the default per-function analysis budget applied
 	// when a request does not set its own.
 	funcTimeout time.Duration
-	// adm gates the scan-shaped endpoints; nil = no admission control.
-	adm *admission
+	// adm gates the read endpoints (/scan, /batch); wadm gates the write
+	// endpoints (/patch, /changeset). Separate gates are the point:
+	// since scans pin MVCC snapshots and never block on writers, a
+	// changeset storm saturating wadm sheds writes while reads keep
+	// flowing untouched — and vice versa. nil = no admission control.
+	adm  *admission
+	wadm *admission
 	// remote is the shared fleet cache tier, when -cache-remote is set;
 	// kept for /stats health reporting.
 	remote *store.Remote
@@ -222,41 +252,59 @@ type server struct {
 	// slowScan, when > 0, triggers the structured slow-request log line
 	// (trace id + stage timeline) for requests slower than it.
 	slowScan time.Duration
+	// minGenWait bounds how long a request's min_generation may hold the
+	// request before it fails 409 with the current generation.
+	minGenWait time.Duration
+	// asyncLedger records async changeset outcomes for
+	// GET /changeset/status.
+	asyncLedger asyncLedger
 	// accessLog overrides the destination of per-request log lines
 	// (tests inject one; nil = the process logger).
 	accessLog *log.Logger
 
-	// mu serializes corpus mutations against scans: /scan and /batch
-	// hold the read lock, /patch and /changeset the write lock — so a
-	// mutation waits for in-flight requests to drain and a batch never
-	// sees a half-updated corpus between its checkers. (scan.Codebase has
-	// its own internal lock; this one widens the critical section to a
-	// whole request.)
-	mu sync.RWMutex
+	// No request-wide corpus lock: scans pin an immutable snapshot
+	// (scan.Codebase is MVCC) and mutations commit by pointer swap, so
+	// the old server-level RWMutex — which made every write drain every
+	// read — is gone, not merely narrowed.
 
-	scans         atomic.Int64
-	batches       atomic.Int64
-	patches       atomic.Int64
-	changesets    atomic.Int64
-	scanErrors    atomic.Int64
-	scansCanceled atomic.Int64
-	reportsServed atomic.Int64
-	gcRemoved     atomic.Int64
+	scans           atomic.Int64
+	batches         atomic.Int64
+	patches         atomic.Int64
+	changesets      atomic.Int64
+	asyncChangesets atomic.Int64
+	scanErrors      atomic.Int64
+	scansCanceled   atomic.Int64
+	reportsServed   atomic.Int64
+	gcRemoved       atomic.Int64
 }
 
 func newServer(inc *scan.Incremental) *server {
-	return &server{inc: inc, started: time.Now()}
+	s := &server{inc: inc, started: time.Now(), minGenWait: 2 * time.Second}
+	s.asyncLedger.init()
+	return s
 }
 
-// asyncInvalidate wraps the remote tier so corpus mutations never hold
-// the server's write lock across a network round-trip: /patch and
-// /changeset invalidate the store while every scan waits on s.mu, and a
-// slow or dead kcached would otherwise stall them all for the remote
-// timeout. Safe to defer because remote invalidation is garbage
-// collection, not a correctness mechanism — content addressing means
-// the orphaned keys can never be requested again (the daemon's doc
-// comment states the same contract). Gets, Puts, and Stats pass through
-// synchronously.
+// setGates installs the read and write admission gates and teaches both
+// to stamp shed responses with the live corpus generation.
+func (s *server) setGates(read, write *admission) {
+	gen := func() int64 { return s.inc.Codebase().Generation() }
+	if read != nil {
+		read.generation = gen
+	}
+	if write != nil {
+		write.generation = gen
+	}
+	s.adm, s.wadm = read, write
+}
+
+// asyncInvalidate wraps the remote tier so corpus mutations never stall
+// on a network round-trip: /patch and /changeset invalidate the store
+// after their generation commits, and a slow or dead kcached would
+// otherwise hold the mutation response for the remote timeout. Safe to
+// defer because remote invalidation is garbage collection, not a
+// correctness mechanism — content addressing means the orphaned keys
+// can never be requested again (the daemon's doc comment states the
+// same contract). Gets, Puts, and Stats pass through synchronously.
 type asyncInvalidate struct{ *store.Remote }
 
 func (a asyncInvalidate) InvalidateFunc(funcHash string) int {
@@ -285,24 +333,26 @@ func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
 
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
-	// Every endpoint that takes the request lock goes through admission
-	// control — including /patch: a pending write-lock waiter blocks all
-	// new read-lock acquisitions, so an ungated patch flood would starve
-	// every scan while itself never being shed. Only /stats and /healthz
-	// stay outside the gate: they must answer even when the daemon is
-	// saturated (that is when an operator needs them most).
-	// withObs sits OUTSIDE the gate: the trace exists before the request
-	// queues (so admission_wait lands on the timeline) and the measured
-	// latency is what the client saw, queueing included.
+	// Reads (/scan, /batch) and writes (/patch, /changeset) go through
+	// SEPARATE admission gates: scans pin MVCC snapshots and never wait
+	// on a writer, so there is no reason to let a changeset storm's
+	// queue shed a read (or a batch flood shed a commit). /stats,
+	// /healthz, and /changeset/status stay outside both gates: they must
+	// answer even when the daemon is saturated (that is when an operator
+	// needs them most).
+	// withObs sits OUTSIDE the gates: the trace exists before the
+	// request queues (so admission_wait lands on the timeline) and the
+	// measured latency is what the client saw, queueing included.
 	mux.HandleFunc("/scan", s.withObs("scan", s.adm.wrap(s.handleScan)))
 	mux.HandleFunc("/batch", s.withObs("batch", s.adm.wrap(s.handleBatch)))
-	mux.HandleFunc("/changeset", s.withObs("changeset", s.adm.wrap(s.handleChangeset)))
-	mux.HandleFunc("/patch", s.withObs("patch", s.adm.wrap(s.handlePatch)))
+	mux.HandleFunc("/changeset", s.withObs("changeset", s.wadm.wrap(s.handleChangeset)))
+	mux.HandleFunc("/changeset/status", s.handleChangesetStatus)
+	mux.HandleFunc("/patch", s.withObs("patch", s.wadm.wrap(s.handlePatch)))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.metrics == nil {
-			httpError(w, http.StatusNotFound, "metrics not registered")
+			s.httpError(w, http.StatusNotFound, api.ErrUnavailable, "metrics not registered")
 			return
 		}
 		s.metrics.reg.Handler().ServeHTTP(w, r)
@@ -310,83 +360,14 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// scanRequest is the POST /scan body.
-type scanRequest struct {
-	// Checker is the checker-DSL program text.
-	Checker string `json:"checker"`
-	// Files optionally restricts the scan to these corpus paths.
-	Files []string `json:"files,omitempty"`
-	// MaxReports caps collected reports (0 = unlimited).
-	MaxReports int `json:"max_reports,omitempty"`
-	// Workers overrides the parallelism degree (0 = GOMAXPROCS).
-	Workers int `json:"workers,omitempty"`
-	// FuncTimeoutMS overrides the server's per-function analysis budget
-	// in milliseconds (0 = server default).
-	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
-	// IncludeTrace adds the per-report path trace to the response.
-	IncludeTrace bool `json:"include_trace,omitempty"`
-	// IncludeTiming adds the request's trace id and per-stage span
-	// timeline to the response — the same timeline the slow-request log
-	// prints, on demand.
-	IncludeTiming bool `json:"include_timing,omitempty"`
-}
-
-// reportJSON is one bug report on the wire.
-type reportJSON struct {
-	Checker string      `json:"checker"`
-	BugType string      `json:"bug_type"`
-	Message string      `json:"message"`
-	File    string      `json:"file"`
-	Func    string      `json:"func"`
-	Line    int         `json:"line"`
-	Col     int         `json:"col"`
-	Region  string      `json:"region,omitempty"`
-	Trace   []traceJSON `json:"trace,omitempty"`
-}
-
-type traceJSON struct {
-	Line int    `json:"line"`
-	Col  int    `json:"col"`
-	Note string `json:"note"`
-}
-
-// cacheJSON reports per-request cache effectiveness.
-type cacheJSON struct {
-	Hits    int     `json:"hits"`
-	Misses  int     `json:"misses"`
-	HitRate float64 `json:"hit_rate"`
-	// Coalesced counts misses served by sharing another request's
-	// in-flight computation of the same key.
-	Coalesced int `json:"coalesced,omitempty"`
-}
-
-func cacheOf(res *scan.Result) cacheJSON {
-	return cacheJSON{
+// cacheOf maps a scan result's cache counters onto the wire shape.
+func cacheOf(res *scan.Result) api.CacheStats {
+	return api.CacheStats{
 		Hits:      res.CacheHits,
 		Misses:    res.CacheMisses,
 		HitRate:   store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
 		Coalesced: res.CacheCoalesced,
 	}
-}
-
-// scanResponse is the POST /scan reply, and one entry of POST /batch.
-type scanResponse struct {
-	Checker      string       `json:"checker"`
-	Error        string       `json:"error,omitempty"`
-	Reports      []reportJSON `json:"reports"`
-	FilesScanned int          `json:"files_scanned"`
-	FuncsScanned int          `json:"funcs_scanned"`
-	RuntimeErrs  []string     `json:"runtime_errs,omitempty"`
-	Truncated    bool         `json:"truncated"`
-	Canceled     bool         `json:"canceled,omitempty"`
-	TimedOut     int          `json:"funcs_timed_out,omitempty"`
-	Cache        cacheJSON    `json:"cache"`
-	ElapsedMS    float64      `json:"elapsed_ms"`
-	// TraceID and Timing are present when the request asked for
-	// include_timing: the request's trace id (echoed in the X-Trace-Id
-	// response header too) and its per-stage span timeline.
-	TraceID string     `json:"trace_id,omitempty"`
-	Timing  []obs.Span `json:"timing,omitempty"`
 }
 
 // attachTiming copies the request trace's id and span timeline into the
@@ -401,29 +382,30 @@ func attachTiming(ctx context.Context, id *string, spans *[]obs.Span, want bool)
 	}
 }
 
-func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool) *scanResponse {
-	resp := &scanResponse{
+func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool) *api.ScanResponse {
+	resp := &api.ScanResponse{
 		Checker:      name,
-		Reports:      make([]reportJSON, 0, len(res.Reports)),
+		Reports:      make([]api.Report, 0, len(res.Reports)),
 		FilesScanned: res.FilesScanned,
 		FuncsScanned: res.FuncsScanned,
 		Truncated:    res.Truncated,
 		Canceled:     res.Canceled,
 		TimedOut:     res.FuncsTimedOut,
 		Cache:        cacheOf(res),
+		Generation:   res.Generation,
 		// The scan's own wall time: for a batch entry this is the
 		// individual checker's cost, not the whole batch's.
 		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
 	}
 	for _, rep := range res.Reports {
-		rj := reportJSON{
+		rj := api.Report{
 			Checker: rep.Checker, BugType: rep.BugType, Message: rep.Message,
 			File: rep.File, Func: rep.Func, Line: rep.Pos.Line, Col: rep.Pos.Col,
 			Region: rep.RegionAt,
 		}
 		if includeTrace {
 			for _, t := range rep.Trace {
-				rj.Trace = append(rj.Trace, traceJSON{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
+				rj.Trace = append(rj.Trace, api.TraceStep{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
 			}
 		}
 		resp.Reports = append(resp.Reports, rj)
@@ -433,6 +415,31 @@ func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool
 	}
 	s.reportsServed.Add(int64(len(resp.Reports)))
 	return resp
+}
+
+// awaitMinGeneration implements the serve-at-or-after contract: wait a
+// bounded interval for the corpus to reach the requested generation,
+// and answer 409 + the current generation + a retry hint if it does
+// not arrive in time. Returns false when the request has been answered.
+func (s *server) awaitMinGeneration(w http.ResponseWriter, r *http.Request, min int64) bool {
+	if min <= 0 {
+		return true
+	}
+	cb := s.inc.Codebase()
+	ctx, cancel := context.WithTimeout(r.Context(), s.minGenWait)
+	ok := cb.WaitForGeneration(ctx, min)
+	cancel()
+	if ok {
+		return true
+	}
+	s.scanErrors.Add(1)
+	s.writeError(w, http.StatusConflict, &api.Error{
+		Code: api.ErrGenerationUnavailable,
+		Message: fmt.Sprintf("corpus is at generation %d; min_generation %d not reached within %s",
+			cb.Generation(), min, s.minGenWait),
+		RetryAfterMS: s.minGenWait.Milliseconds(),
+	})
+	return false
 }
 
 // resolveFiles maps request paths to file indices (nil = all files).
@@ -469,33 +476,37 @@ func (s *server) scanOptions(ctx context.Context, maxReports, workers, funcTimeo
 
 func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "POST only")
 		return
 	}
-	var req scanRequest
+	var req api.ScanRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if req.Checker == "" {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "missing 'checker' (DSL text)")
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'checker' (DSL text)")
 		return
 	}
 	ck, err := ckdsl.CompileSource(req.Checker)
 	if err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, "checker does not compile: "+err.Error())
+		s.httpError(w, http.StatusUnprocessableEntity, api.ErrUnprocessable, "checker does not compile: "+err.Error())
+		return
+	}
+	if !s.awaitMinGeneration(w, r, req.MinGeneration) {
 		return
 	}
 
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	// No corpus lock: RunFiles pins the live snapshot itself. The
+	// resolved indices stay valid across generations because the file
+	// set is fixed — only contents change.
 	files, err := s.resolveFiles(req.Files)
 	if err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusNotFound, err.Error())
+		s.httpError(w, http.StatusNotFound, api.ErrNotFound, err.Error())
 		return
 	}
 	if files == nil {
@@ -511,74 +522,35 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := s.toScanResponse(ck.Name(), res, req.IncludeTrace)
 	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// batchRequest is the POST /batch body: N checker revisions evaluated
-// over the shared store in one request.
-type batchRequest struct {
-	// Checkers are the checker-DSL program texts.
-	Checkers []string `json:"checkers"`
-	// Files optionally restricts every scan to these corpus paths.
-	Files []string `json:"files,omitempty"`
-	// MaxReports caps collected reports per checker (0 = unlimited).
-	MaxReports int `json:"max_reports,omitempty"`
-	// Workers overrides each scan's parallelism (0 = auto-scaled to the
-	// pool size).
-	Workers int `json:"workers,omitempty"`
-	// Concurrency bounds how many checkers run at once (0 = GOMAXPROCS).
-	Concurrency int `json:"concurrency,omitempty"`
-	// FuncTimeoutMS overrides the server's per-function analysis budget.
-	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
-	// IncludeTrace adds per-report path traces to the responses.
-	IncludeTrace bool `json:"include_trace,omitempty"`
-	// IncludeTiming adds the request's trace id and stage timeline to
-	// the batch reply (one trace per HTTP request; entries share it).
-	IncludeTiming bool `json:"include_timing,omitempty"`
-}
-
-// batchResponse is the POST /batch reply: per-checker results in request
-// order plus aggregate cache effectiveness.
-type batchResponse struct {
-	Results []*scanResponse `json:"results"`
-	// CheckersRun counts checkers that compiled and scanned;
-	// CheckerErrors counts entries rejected at compile time.
-	CheckersRun   int       `json:"checkers_run"`
-	CheckerErrors int       `json:"checker_errors"`
-	Cache         cacheJSON `json:"cache"`
-	ElapsedMS     float64   `json:"elapsed_ms"`
-	// TraceID and Timing are present when the request asked for
-	// include_timing; the timeline aggregates all entries' stages.
-	TraceID string     `json:"trace_id,omitempty"`
-	Timing  []obs.Span `json:"timing,omitempty"`
+	s.writeOK(w, res.Generation, resp)
 }
 
 func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "POST only")
 		return
 	}
-	var req batchRequest
+	var req api.BatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if len(req.Checkers) == 0 {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "missing 'checkers' (list of DSL texts)")
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'checkers' (list of DSL texts)")
 		return
 	}
 
 	// Compile every checker first; a bad revision gets a per-entry error
 	// instead of failing its siblings.
-	resp := &batchResponse{Results: make([]*scanResponse, len(req.Checkers))}
+	resp := &api.BatchResponse{Results: make([]*api.ScanResponse, len(req.Checkers))}
 	var cks []checker.Checker
 	var live []int // request index of each compiled checker
 	for i, src := range req.Checkers {
 		ck, err := ckdsl.CompileSource(src)
 		if err != nil {
-			resp.Results[i] = &scanResponse{Error: "checker does not compile: " + err.Error()}
+			resp.Results[i] = &api.ScanResponse{Error: "checker does not compile: " + err.Error()}
 			resp.CheckerErrors++
 			s.scanErrors.Add(1)
 			continue
@@ -586,16 +558,23 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		cks = append(cks, ck)
 		live = append(live, i)
 	}
-
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	files, err := s.resolveFiles(req.Files)
-	if err != nil {
-		s.scanErrors.Add(1)
-		httpError(w, http.StatusNotFound, err.Error())
+	if !s.awaitMinGeneration(w, r, req.MinGeneration) {
 		return
 	}
 
+	// No corpus lock: RunBatch pins ONE snapshot for the whole batch,
+	// so every entry scans the same generation even while changesets
+	// commit concurrently.
+	files, err := s.resolveFiles(req.Files)
+	if err != nil {
+		s.scanErrors.Add(1)
+		s.httpError(w, http.StatusNotFound, api.ErrNotFound, err.Error())
+		return
+	}
+
+	// Default for an all-errors batch (nothing scanned): the live
+	// generation; any actual result overwrites it with the pinned one.
+	resp.Generation = s.inc.Codebase().Generation()
 	start := time.Now()
 	results := s.inc.RunBatch(cks, files,
 		s.scanOptions(r.Context(), req.MaxReports, req.Workers, req.FuncTimeoutMS), req.Concurrency)
@@ -605,6 +584,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	for bi, res := range results {
 		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace)
 		s.observeScan(res)
+		resp.Generation = res.Generation
 		agg.CacheHits += res.CacheHits
 		agg.CacheMisses += res.CacheMisses
 		agg.CacheCoalesced += res.CacheCoalesced
@@ -618,53 +598,29 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
 	s.batches.Add(1)
 	s.scans.Add(int64(len(cks)))
-	writeJSON(w, http.StatusOK, resp)
-}
-
-// patchRequest is the POST /patch body. An empty Func replaces the whole
-// file with Source; otherwise Source must be a single function that
-// replaces Func within the file.
-type patchRequest struct {
-	Path   string `json:"path"`
-	Func   string `json:"func,omitempty"`
-	Source string `json:"source"`
-}
-
-// patchResponse reports what one mutation touched — and, critically,
-// what it did NOT: ChangedFuncs is exactly the number of functions the
-// next scan will miss on.
-type patchResponse struct {
-	Path             string  `json:"path"`
-	Mode             string  `json:"mode"` // "patch" or "replace"
-	Funcs            int     `json:"funcs"`
-	ChangedFuncs     int     `json:"changed_funcs"`
-	StaleHashes      int     `json:"stale_hashes"`
-	StoreInvalidated int     `json:"store_invalidated"`
-	Generation       int64   `json:"generation"`
-	ElapsedMS        float64 `json:"elapsed_ms"`
+	s.writeOK(w, resp.Generation, resp)
 }
 
 func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "POST only")
 		return
 	}
-	var req patchRequest
+	var req api.PatchRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if req.Path == "" || req.Source == "" {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "missing 'path' or 'source'")
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'path' or 'source'")
 		return
 	}
 
-	// Write lock: wait for in-flight scans and batches to drain, apply
-	// the mutation, then let traffic back in against the updated corpus.
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	// No request-wide lock: the mutation is an MVCC commit — in-flight
+	// scans keep their pinned snapshots; the next admitted scan pins the
+	// new generation.
 	start := time.Now()
 	var m *scan.Mutation
 	var err error
@@ -677,11 +633,12 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	}
 	if err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		s.httpError(w, http.StatusUnprocessableEntity, api.ErrUnprocessable, err.Error())
 		return
 	}
 	s.patches.Add(1)
-	writeJSON(w, http.StatusOK, &patchResponse{
+	s.observeCommit(time.Since(start))
+	s.writeOK(w, m.Generation, &api.PatchResponse{
 		Path:             m.Path,
 		Mode:             mode,
 		Funcs:            m.Funcs,
@@ -693,73 +650,64 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
-// changesetRequest is the POST /changeset body: a commit-sized batch of
-// file updates applied atomically. Each change follows /patch semantics
-// (empty func = whole-file replace, set func = single-function patch),
-// but the whole set costs one in-flight-scan drain and one generation
-// bump, and a bad change rejects the entire set.
-type changesetRequest struct {
-	Changes []changeJSON `json:"changes"`
-}
-
-type changeJSON struct {
-	Path   string `json:"path"`
-	Func   string `json:"func,omitempty"`
-	Source string `json:"source"`
-}
-
-// changesetResponse reports what the changeset touched — and what it did
-// NOT: ChangedFuncs is exactly the number of cache misses the next scan
-// will pay, however many files the commit spanned.
-type changesetResponse struct {
-	Ops              int      `json:"ops"`
-	Files            []string `json:"files"`
-	ChangedFuncs     int      `json:"changed_funcs"`
-	StaleHashes      int      `json:"stale_hashes"`
-	StoreInvalidated int      `json:"store_invalidated"`
-	Generation       int64    `json:"generation"`
-	ElapsedMS        float64  `json:"elapsed_ms"`
-}
-
 func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "POST only")
 		return
 	}
-	var req changesetRequest
+	var req api.ChangesetRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "bad JSON: "+err.Error())
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "bad JSON: "+err.Error())
 		return
 	}
 	if len(req.Changes) == 0 {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusBadRequest, "missing 'changes' (list of file updates)")
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'changes' (list of file updates)")
 		return
 	}
 	changes := make([]scan.Change, 0, len(req.Changes))
 	for i, c := range req.Changes {
 		if c.Path == "" || c.Source == "" {
 			s.scanErrors.Add(1)
-			httpError(w, http.StatusBadRequest, fmt.Sprintf("change %d: missing 'path' or 'source'", i))
+			s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, fmt.Sprintf("change %d: missing 'path' or 'source'", i))
 			return
 		}
 		changes = append(changes, scan.Change{Path: c.Path, Func: c.Func, Source: c.Source})
 	}
 
-	// Write lock: in-flight scans and batches drain ONCE for the whole
-	// changeset, then traffic resumes against the fully updated corpus.
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	start := time.Now()
+	if req.Async {
+		// Reserve a generation token and return immediately; the commit
+		// proceeds in the background in token order. The token is the
+		// client's read-your-writes handle: pass it as min_generation on
+		// a later /scan, or poll /changeset/status?generation=N.
+		a := s.inc.ApplyChangesetAsync(changes)
+		s.asyncChangesets.Add(1)
+		s.asyncLedger.record(a.Generation)
+		go s.settleAsync(a, start)
+		s.writeJSONGen(w, http.StatusAccepted, a.Generation, &api.ChangesetResponse{
+			Async:      true,
+			Status:     api.StatusPending,
+			Generation: a.Generation,
+			ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+		})
+		return
+	}
+
+	// Sync path: no request-wide lock. The changeset stages off to the
+	// side and commits with a pointer swap — in-flight scans keep their
+	// pinned snapshots and are never drained.
 	cs, err := s.inc.ApplyChangeset(changes)
 	if err != nil {
 		s.scanErrors.Add(1)
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		s.httpError(w, http.StatusUnprocessableEntity, api.ErrUnprocessable, err.Error())
 		return
 	}
 	s.changesets.Add(1)
-	resp := &changesetResponse{
+	s.observeCommit(time.Since(start))
+	resp := &api.ChangesetResponse{
+		Status:           api.StatusCommitted,
 		Ops:              cs.Ops,
 		ChangedFuncs:     cs.Changed,
 		StaleHashes:      len(cs.StaleHashes),
@@ -770,38 +718,106 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 	for _, fc := range cs.Files {
 		resp.Files = append(resp.Files, fc.Path)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	s.writeOK(w, cs.Generation, resp)
 }
 
-// statsResponse is the GET /stats reply.
-type statsResponse struct {
-	UptimeSeconds float64     `json:"uptime_seconds"`
-	Version       string      `json:"version"`
-	GoVersion     string      `json:"go_version"`
-	Files         int         `json:"files"`
-	Funcs         int         `json:"funcs"`
-	Generation    int64       `json:"generation"`
-	Scans         int64       `json:"scans"`
-	Batches       int64       `json:"batches"`
-	Patches       int64       `json:"patches"`
-	Changesets    int64       `json:"changesets"`
-	ScanErrors    int64       `json:"scan_errors"`
-	ScansCanceled int64       `json:"scans_canceled"`
-	ReportsServed int64       `json:"reports_served"`
-	GCRemoved     int64       `json:"gc_removed"`
-	Store         store.Stats `json:"store"`
-	StoreHitRate  float64     `json:"store_hit_rate"`
-	// Remote is present only when the daemon runs with a fleet cache
-	// tier (-cache-remote): the client-side view of the shared tier's
-	// health, including circuit-breaker state.
-	Remote *store.RemoteStats `json:"remote,omitempty"`
-	// Admission is present only when the daemon runs with admission
-	// control (-max-inflight > 0).
-	Admission *admissionStats `json:"admission,omitempty"`
+// settleAsync waits for an async changeset to commit (or fail) and
+// records the outcome in the ledger so /changeset/status can report it.
+func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time) {
+	cs, err := a.Result()
+	if err != nil {
+		s.scanErrors.Add(1)
+		s.asyncLedger.settle(a.Generation, &api.ChangesetStatus{
+			Generation: a.Generation,
+			Status:     api.StatusFailed,
+			Error:      err.Error(),
+		})
+		return
+	}
+	s.changesets.Add(1)
+	s.observeCommit(time.Since(start))
+	st := &api.ChangesetStatus{
+		Generation:       cs.Generation,
+		Status:           api.StatusCommitted,
+		Ops:              cs.Ops,
+		ChangedFuncs:     cs.Changed,
+		StaleHashes:      len(cs.StaleHashes),
+		StoreInvalidated: cs.StoreInvalidated,
+	}
+	for _, fc := range cs.Files {
+		st.Files = append(st.Files, fc.Path)
+	}
+	s.asyncLedger.settle(a.Generation, st)
+}
+
+// asyncLedger remembers the outcome of recent async changesets, keyed by
+// their reserved generation token. Bounded FIFO: old entries age out once
+// the ledger exceeds asyncLedgerCap, so a long-lived daemon under a
+// changeset storm cannot grow without bound.
+const asyncLedgerCap = 1024
+
+type asyncLedger struct {
+	mu    sync.Mutex
+	byGen map[int64]*api.ChangesetStatus
+	order []int64
+}
+
+func (l *asyncLedger) init() {
+	l.byGen = make(map[int64]*api.ChangesetStatus)
+}
+
+func (l *asyncLedger) record(gen int64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byGen[gen] = &api.ChangesetStatus{Generation: gen, Status: api.StatusPending}
+	l.order = append(l.order, gen)
+	for len(l.order) > asyncLedgerCap {
+		delete(l.byGen, l.order[0])
+		l.order = l.order[1:]
+	}
+}
+
+func (l *asyncLedger) settle(gen int64, st *api.ChangesetStatus) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if _, ok := l.byGen[gen]; ok {
+		l.byGen[gen] = st
+	}
+}
+
+func (l *asyncLedger) lookup(gen int64) (*api.ChangesetStatus, bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	st, ok := l.byGen[gen]
+	return st, ok
+}
+
+// handleChangesetStatus reports the outcome of an async changeset by its
+// generation token: pending, committed (with the commit's accounting), or
+// failed (with the rejection reason — the token's generation was burned
+// by an empty commit, so min_generation waits on it still resolve).
+func (s *server) handleChangesetStatus(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "GET only")
+		return
+	}
+	gen, err := strconv.ParseInt(r.URL.Query().Get("generation"), 10, 64)
+	if err != nil {
+		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing or bad 'generation' query parameter")
+		return
+	}
+	st, ok := s.asyncLedger.lookup(gen)
+	if !ok {
+		s.httpError(w, http.StatusNotFound, api.ErrNotFound, fmt.Sprintf("no async changeset recorded for generation %d", gen))
+		return
+	}
+	s.writeOK(w, s.inc.Codebase().Generation(), st)
 }
 
 // handleStats, like handleHealthz, takes no request lock: every value it
-// reads is either atomic or guarded by its own short-lived lock.
+// reads is either atomic or guarded by its own short-lived lock. In
+// particular Generation comes from an atomic counter, so /stats reports
+// a truthful generation even while a changeset commit is mid-swap.
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st := s.inc.Stats()
 	cb := s.inc.Codebase()
@@ -811,42 +827,48 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		remote = &rs
 	}
 	version, goVersion := obs.BuildVersion()
-	writeJSON(w, http.StatusOK, &statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Version:       version,
-		GoVersion:     goVersion,
-		Files:         len(cb.Files),
-		Funcs:         cb.NumFuncs(),
-		Generation:    cb.Generation(),
-		Scans:         s.scans.Load(),
-		Batches:       s.batches.Load(),
-		Patches:       s.patches.Load(),
-		Changesets:    s.changesets.Load(),
-		ScanErrors:    s.scanErrors.Load(),
-		ScansCanceled: s.scansCanceled.Load(),
-		ReportsServed: s.reportsServed.Load(),
-		GCRemoved:     s.gcRemoved.Load(),
-		Store:         st,
-		StoreHitRate:  st.HitRate(),
-		Remote:        remote,
-		Admission:     s.adm.snapshot(),
+	gen := cb.Generation()
+	s.writeOK(w, gen, &api.StatsResponse{
+		UptimeSeconds:   time.Since(s.started).Seconds(),
+		Version:         version,
+		GoVersion:       goVersion,
+		Files:           len(cb.Files()),
+		Funcs:           cb.NumFuncs(),
+		Generation:      gen,
+		PinnedSnapshots: cb.PinnedSnapshots(),
+		Scans:           s.scans.Load(),
+		Batches:         s.batches.Load(),
+		Patches:         s.patches.Load(),
+		Changesets:      s.changesets.Load(),
+		AsyncChangesets: s.asyncChangesets.Load(),
+		ScanErrors:      s.scanErrors.Load(),
+		ScansCanceled:   s.scansCanceled.Load(),
+		ReportsServed:   s.reportsServed.Load(),
+		GCRemoved:       s.gcRemoved.Load(),
+		Store:           st,
+		StoreHitRate:    st.HitRate(),
+		Remote:          remote,
+		Admission:       s.adm.snapshot(),
+		WriteAdmission:  s.wadm.snapshot(),
 	})
 }
 
 // handleHealthz deliberately takes no locks: a liveness probe must
-// answer even while a patch is queued behind a long batch (a pending
-// writer blocks new RWMutex readers, which would make the orchestrator
-// kill a healthy warm daemon). The file count never changes and the
-// generation counter is atomic.
+// answer instantly even mid-commit. Under MVCC there is no pending
+// writer that could block it — every value here is an atomic load.
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	cb := s.inc.Codebase()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"ok": true, "files": len(cb.Files), "generation": cb.Generation(),
+	gen := cb.Generation()
+	s.writeOK(w, gen, &api.HealthzResponse{
+		OK:              true,
+		Files:           len(cb.Files()),
+		Generation:      gen,
+		PinnedSnapshots: cb.PinnedSnapshots(),
 	})
 }
 
 func allFiles(cb *scan.Codebase) []int {
-	files := make([]int, len(cb.Files))
+	files := make([]int, len(cb.Files()))
 	for i := range files {
 		files[i] = i
 	}
@@ -863,6 +885,40 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]any{"error": msg})
+// writeJSONGen writes a JSON response stamped with the generation it was
+// served against, both in the body (callers embed it) and in the
+// X-KN-Generation header so clients that only look at headers can chain
+// min_generation reads without parsing the body.
+func (s *server) writeJSONGen(w http.ResponseWriter, code int, gen int64, v any) {
+	w.Header().Set(api.GenerationHeader, strconv.FormatInt(gen, 10))
+	writeJSON(w, code, v)
+}
+
+// writeOK is the 200 form of writeJSONGen.
+func (s *server) writeOK(w http.ResponseWriter, gen int64, v any) {
+	s.writeJSONGen(w, http.StatusOK, gen, v)
+}
+
+// writeError writes the uniform error envelope. The flat message is
+// duplicated at "error_legacy" for one release so pre-envelope clients
+// keep a string to read; see README for the deprecation schedule.
+func (s *server) writeError(w http.ResponseWriter, code int, e *api.Error) {
+	gen := s.inc.Codebase().Generation()
+	writeErrorEnvelope(w, code, e, gen)
+}
+
+// httpError is the shorthand for errors that carry no retry hint.
+func (s *server) httpError(w http.ResponseWriter, code int, errCode, msg string) {
+	s.writeError(w, code, &api.Error{Code: errCode, Message: msg})
+}
+
+// writeErrorEnvelope is the package-level core of writeError, shared
+// with the admission gate (which sheds before it has a server handle).
+func writeErrorEnvelope(w http.ResponseWriter, code int, e *api.Error, gen int64) {
+	w.Header().Set(api.GenerationHeader, strconv.FormatInt(gen, 10))
+	writeJSON(w, code, &api.ErrorResponse{
+		Err:         e,
+		LegacyError: e.Message,
+		Generation:  gen,
+	})
 }

@@ -12,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/kernel"
 	"knighter/internal/minic"
 	"knighter/internal/scan"
@@ -33,10 +34,18 @@ func newTestServer(t *testing.T) (*server, *httptest.Server) {
 	return newTestServerWithAdmission(t, nil)
 }
 
-// newTestServerWithAdmission builds the server with the admission gate
-// installed BEFORE the routes are wired: routes() captures s.adm when
-// wrapping handlers, so a gate set afterwards would never see traffic.
+// newTestServerWithAdmission builds the server with the read admission
+// gate installed BEFORE the routes are wired: routes() captures the
+// gates when wrapping handlers, so a gate set afterwards would never see
+// traffic. Writes stay ungated.
 func newTestServerWithAdmission(t *testing.T, adm *admission) (*server, *httptest.Server) {
+	t.Helper()
+	return newTestServerWithGates(t, adm, nil)
+}
+
+// newTestServerWithGates installs both the read gate (/scan, /batch) and
+// the write gate (/patch, /changeset).
+func newTestServerWithGates(t *testing.T, read, write *admission) (*server, *httptest.Server) {
 	t.Helper()
 	corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
 	cb, err := scan.NewCodebase(corpus)
@@ -44,13 +53,13 @@ func newTestServerWithAdmission(t *testing.T, adm *admission) (*server, *httptes
 		t.Fatal(err)
 	}
 	srv := newServer(scan.NewIncremental(cb, store.NewMemory(0)))
-	srv.adm = adm
+	srv.setGates(read, write)
 	ts := httptest.NewServer(srv.routes())
 	t.Cleanup(ts.Close)
 	return srv, ts
 }
 
-func postScan(t *testing.T, ts *httptest.Server, body any) *scanResponse {
+func postScan(t *testing.T, ts *httptest.Server, body any) *api.ScanResponse {
 	t.Helper()
 	data, err := json.Marshal(body)
 	if err != nil {
@@ -64,21 +73,21 @@ func postScan(t *testing.T, ts *httptest.Server, body any) *scanResponse {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("POST /scan status = %d", resp.StatusCode)
 	}
-	var out scanResponse
+	var out api.ScanResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
 	return &out
 }
 
-func getStats(t *testing.T, ts *httptest.Server) *statsResponse {
+func getStats(t *testing.T, ts *httptest.Server) *api.StatsResponse {
 	t.Helper()
 	resp, err := http.Get(ts.URL + "/stats")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var out statsResponse
+	var out api.StatsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
@@ -109,7 +118,7 @@ func TestHealthz(t *testing.T) {
 // >= 90% from cache, observable both in the response and in GET /stats.
 func TestRepeatScanServedFromCache(t *testing.T) {
 	_, ts := newTestServer(t)
-	req := scanRequest{Checker: testChecker}
+	req := api.ScanRequest{Checker: testChecker}
 
 	first := postScan(t, ts, req)
 	if first.Cache.Hits != 0 {
@@ -148,12 +157,12 @@ func TestRepeatScanServedFromCache(t *testing.T) {
 // scanning one file warms only that file's functions.
 func TestScanFileSubset(t *testing.T) {
 	srv, ts := newTestServer(t)
-	path := srv.inc.Codebase().Files[0].Name
-	one := postScan(t, ts, scanRequest{Checker: testChecker, Files: []string{path}})
+	path := srv.inc.Codebase().Files()[0].Name
+	one := postScan(t, ts, api.ScanRequest{Checker: testChecker, Files: []string{path}})
 	if one.FilesScanned != 1 {
 		t.Fatalf("files scanned = %d, want 1", one.FilesScanned)
 	}
-	again := postScan(t, ts, scanRequest{Checker: testChecker, Files: []string{path}})
+	again := postScan(t, ts, api.ScanRequest{Checker: testChecker, Files: []string{path}})
 	if again.Cache.Misses != 0 {
 		t.Fatalf("re-scan of one file missed %d times, want 0", again.Cache.Misses)
 	}
@@ -223,31 +232,31 @@ func postJSON(t *testing.T, ts *httptest.Server, path string, body any, out any)
 func TestPatchEndpointConfinesMisses(t *testing.T) {
 	srv, ts := newTestServer(t)
 	cb := srv.inc.Codebase()
-	path := cb.Files[0].Name
+	path := cb.Files()[0].Name
 
 	// Canonicalize the target file (whole-file replace), then warm.
-	var rep patchResponse
-	if code := postJSON(t, ts, "/patch", patchRequest{
-		Path: path, Source: minic.FormatFile(cb.Files[0]),
+	var rep api.PatchResponse
+	if code := postJSON(t, ts, "/patch", api.PatchRequest{
+		Path: path, Source: minic.FormatFile(cb.Files()[0]),
 	}, &rep); code != http.StatusOK {
 		t.Fatalf("replace status = %d", code)
 	}
 	if rep.Mode != "replace" || rep.Generation != 1 {
 		t.Fatalf("replace response = %+v", rep)
 	}
-	postScan(t, ts, scanRequest{Checker: testChecker})
-	warm := postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
+	warm := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	if warm.Cache.Misses != 0 {
 		t.Fatalf("warm-up left %d misses", warm.Cache.Misses)
 	}
 
 	// Patch the last function of the file.
-	j := len(cb.Files[0].Funcs) - 1
-	fn := cb.Files[0].Funcs[j]
+	j := len(cb.Files()[0].Funcs) - 1
+	fn := cb.Files()[0].Funcs[j]
 	src := minic.FormatFunc(fn)
 	brace := strings.Index(src, "{")
 	src = src[:brace+1] + "\n\tint patched_probe;" + src[brace+1:]
-	if code := postJSON(t, ts, "/patch", patchRequest{
+	if code := postJSON(t, ts, "/patch", api.PatchRequest{
 		Path: path, Func: fn.Name, Source: src,
 	}, &rep); code != http.StatusOK {
 		t.Fatalf("patch status = %d", code)
@@ -256,7 +265,7 @@ func TestPatchEndpointConfinesMisses(t *testing.T) {
 		t.Fatalf("patch response = %+v", rep)
 	}
 
-	after := postScan(t, ts, scanRequest{Checker: testChecker})
+	after := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	if after.Cache.Misses != 1 {
 		t.Fatalf("post-patch scan missed %d times, want 1", after.Cache.Misses)
 	}
@@ -272,17 +281,17 @@ func TestPatchEndpointConfinesMisses(t *testing.T) {
 
 func TestPatchEndpointRejectsBadRequests(t *testing.T) {
 	srv, ts := newTestServer(t)
-	path := srv.inc.Codebase().Files[0].Name
+	path := srv.inc.Codebase().Files()[0].Name
 	cases := []struct {
 		name string
-		req  patchRequest
+		req  api.PatchRequest
 		code int
 	}{
-		{"missing path", patchRequest{Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusBadRequest},
-		{"missing source", patchRequest{Path: path}, http.StatusBadRequest},
-		{"unknown file", patchRequest{Path: "no/such.c", Source: "int x;"}, http.StatusUnprocessableEntity},
-		{"parse error", patchRequest{Path: path, Source: "int broken("}, http.StatusUnprocessableEntity},
-		{"unknown func", patchRequest{Path: path, Func: "nope", Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusUnprocessableEntity},
+		{"missing path", api.PatchRequest{Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusBadRequest},
+		{"missing source", api.PatchRequest{Path: path}, http.StatusBadRequest},
+		{"unknown file", api.PatchRequest{Path: "no/such.c", Source: "int x;"}, http.StatusUnprocessableEntity},
+		{"parse error", api.PatchRequest{Path: path, Source: "int broken("}, http.StatusUnprocessableEntity},
+		{"unknown func", api.PatchRequest{Path: path, Func: "nope", Source: "int f(void)\n{\n\treturn 0;\n}"}, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -299,10 +308,10 @@ func TestPatchEndpointRejectsBadRequests(t *testing.T) {
 // in one request.
 func TestBatchServedFromWarmStore(t *testing.T) {
 	_, ts := newTestServer(t)
-	postScan(t, ts, scanRequest{Checker: testChecker}) // warm checker A
+	postScan(t, ts, api.ScanRequest{Checker: testChecker}) // warm checker A
 
-	var out batchResponse
-	if code := postJSON(t, ts, "/batch", batchRequest{
+	var out api.BatchResponse
+	if code := postJSON(t, ts, "/batch", api.BatchRequest{
 		Checkers: []string{testChecker, testCheckerB, "checker broken {"},
 	}, &out); code != http.StatusOK {
 		t.Fatalf("batch status = %d", code)
@@ -325,7 +334,7 @@ func TestBatchServedFromWarmStore(t *testing.T) {
 	}
 
 	// Per-checker batch results equal standalone scans.
-	solo := postScan(t, ts, scanRequest{Checker: testChecker})
+	solo := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	ja, _ := json.Marshal(a.Reports)
 	js, _ := json.Marshal(solo.Reports)
 	if !bytes.Equal(ja, js) {
@@ -345,41 +354,41 @@ func TestBatchServedFromWarmStore(t *testing.T) {
 func TestChangesetEndpointConfinesMisses(t *testing.T) {
 	srv, ts := newTestServer(t)
 	cb := srv.inc.Codebase()
-	if len(cb.Files) < 3 {
-		t.Fatalf("corpus too small: %d files", len(cb.Files))
+	if len(cb.Files()) < 3 {
+		t.Fatalf("corpus too small: %d files", len(cb.Files()))
 	}
 	files := []int{0, 1, 2}
 
 	// Canonicalize the three target files in ONE changeset, then warm.
-	var canon []changeJSON
+	var canon []api.Change
 	for _, i := range files {
-		canon = append(canon, changeJSON{Path: cb.Files[i].Name, Source: minic.FormatFile(cb.Files[i])})
+		canon = append(canon, api.Change{Path: cb.Files()[i].Name, Source: minic.FormatFile(cb.Files()[i])})
 	}
-	var rep changesetResponse
-	if code := postJSON(t, ts, "/changeset", changesetRequest{Changes: canon}, &rep); code != http.StatusOK {
+	var rep api.ChangesetResponse
+	if code := postJSON(t, ts, "/changeset", api.ChangesetRequest{Changes: canon}, &rep); code != http.StatusOK {
 		t.Fatalf("canonicalizing changeset status = %d", code)
 	}
 	if rep.Ops != 3 || len(rep.Files) != 3 || rep.Generation != 1 {
 		t.Fatalf("changeset response = %+v, want 3 ops / 3 files / generation 1", rep)
 	}
-	postScan(t, ts, scanRequest{Checker: testChecker})
-	warm := postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
+	warm := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	if warm.Cache.Misses != 0 {
 		t.Fatalf("warm-up left %d misses", warm.Cache.Misses)
 	}
 
 	// Patch the last function of each of the three files in one commit.
-	var changes []changeJSON
+	var changes []api.Change
 	for _, i := range files {
-		fn := cb.Files[i].Funcs[len(cb.Files[i].Funcs)-1]
+		fn := cb.Files()[i].Funcs[len(cb.Files()[i].Funcs)-1]
 		src := minic.FormatFunc(fn)
 		brace := strings.Index(src, "{")
-		changes = append(changes, changeJSON{
-			Path: cb.Files[i].Name, Func: fn.Name,
+		changes = append(changes, api.Change{
+			Path: cb.Files()[i].Name, Func: fn.Name,
 			Source: src[:brace+1] + "\n\tint changeset_probe;" + src[brace+1:],
 		})
 	}
-	if code := postJSON(t, ts, "/changeset", changesetRequest{Changes: changes}, &rep); code != http.StatusOK {
+	if code := postJSON(t, ts, "/changeset", api.ChangesetRequest{Changes: changes}, &rep); code != http.StatusOK {
 		t.Fatalf("changeset status = %d", code)
 	}
 	if rep.ChangedFuncs != 3 || rep.StaleHashes != 3 || rep.Generation != 2 {
@@ -389,7 +398,7 @@ func TestChangesetEndpointConfinesMisses(t *testing.T) {
 		t.Fatalf("store invalidated %d entries, want 3", rep.StoreInvalidated)
 	}
 
-	after := postScan(t, ts, scanRequest{Checker: testChecker})
+	after := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	if after.Cache.Misses != 3 {
 		t.Fatalf("post-changeset scan missed %d times, want 3", after.Cache.Misses)
 	}
@@ -405,19 +414,19 @@ func TestChangesetEndpointConfinesMisses(t *testing.T) {
 func TestChangesetEndpointRejectsBadRequests(t *testing.T) {
 	srv, ts := newTestServer(t)
 	cb := srv.inc.Codebase()
-	path := cb.Files[0].Name
+	path := cb.Files()[0].Name
 	genBefore := getStats(t, ts).Generation
-	ok := changeJSON{Path: path, Source: minic.FormatFile(cb.Files[0])}
+	ok := api.Change{Path: path, Source: minic.FormatFile(cb.Files()[0])}
 	cases := []struct {
 		name string
-		req  changesetRequest
+		req  api.ChangesetRequest
 		code int
 	}{
-		{"no changes", changesetRequest{}, http.StatusBadRequest},
-		{"missing path", changesetRequest{Changes: []changeJSON{{Source: "int x;"}}}, http.StatusBadRequest},
-		{"missing source", changesetRequest{Changes: []changeJSON{{Path: path}}}, http.StatusBadRequest},
-		{"unknown file poisons the set", changesetRequest{Changes: []changeJSON{ok, {Path: "no/such.c", Source: "int x;"}}}, http.StatusUnprocessableEntity},
-		{"parse error poisons the set", changesetRequest{Changes: []changeJSON{ok, {Path: path, Source: "int broken("}}}, http.StatusUnprocessableEntity},
+		{"no changes", api.ChangesetRequest{}, http.StatusBadRequest},
+		{"missing path", api.ChangesetRequest{Changes: []api.Change{{Source: "int x;"}}}, http.StatusBadRequest},
+		{"missing source", api.ChangesetRequest{Changes: []api.Change{{Path: path}}}, http.StatusBadRequest},
+		{"unknown file poisons the set", api.ChangesetRequest{Changes: []api.Change{ok, {Path: "no/such.c", Source: "int x;"}}}, http.StatusUnprocessableEntity},
+		{"parse error poisons the set", api.ChangesetRequest{Changes: []api.Change{ok, {Path: path, Source: "int broken("}}}, http.StatusUnprocessableEntity},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -458,7 +467,7 @@ func TestAdmissionShedsExcessLoad(t *testing.T) {
 	// Fill the one queue slot with a request that will block.
 	queuedDone := make(chan *http.Response, 1)
 	go func() {
-		data, _ := json.Marshal(scanRequest{Checker: testChecker})
+		data, _ := json.Marshal(api.ScanRequest{Checker: testChecker})
 		resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
 		if err != nil {
 			t.Error(err)
@@ -472,7 +481,7 @@ func TestAdmissionShedsExcessLoad(t *testing.T) {
 	}
 
 	// The third concurrent request must shed.
-	data, _ := json.Marshal(scanRequest{Checker: testChecker})
+	data, _ := json.Marshal(api.ScanRequest{Checker: testChecker})
 	resp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)
@@ -517,8 +526,8 @@ func TestAdmissionShedsExcessLoad(t *testing.T) {
 func TestConcurrentBatchesAndPatches(t *testing.T) {
 	srv, ts := newTestServer(t)
 	cb := srv.inc.Codebase()
-	path := cb.Files[0].Name
-	canonical := minic.FormatFile(cb.Files[0])
+	path := cb.Files()[0].Name
+	canonical := minic.FormatFile(cb.Files()[0])
 
 	var wg sync.WaitGroup
 	errs := make(chan string, 64)
@@ -528,16 +537,16 @@ func TestConcurrentBatchesAndPatches(t *testing.T) {
 			defer wg.Done()
 			for i := 0; i < 3; i++ {
 				if g%2 == 0 {
-					var out batchResponse
-					if code := postJSON(t, ts, "/batch", batchRequest{
+					var out api.BatchResponse
+					if code := postJSON(t, ts, "/batch", api.BatchRequest{
 						Checkers:    []string{testChecker, testCheckerB},
 						Concurrency: 2,
 					}, &out); code != http.StatusOK {
 						errs <- fmt.Sprintf("batch status %d", code)
 					}
 				} else {
-					var out patchResponse
-					if code := postJSON(t, ts, "/patch", patchRequest{
+					var out api.PatchResponse
+					if code := postJSON(t, ts, "/patch", api.PatchRequest{
 						Path: path, Source: canonical,
 					}, &out); code != http.StatusOK {
 						errs <- fmt.Sprintf("patch status %d", code)

@@ -23,6 +23,7 @@ type serverMetrics struct {
 	scanDur  *obs.Histogram
 	stageDur *obs.HistogramVec
 	gcSweep  *obs.Histogram
+	commit   *obs.Histogram
 }
 
 // registerMetrics wires the server's observable state into reg and
@@ -42,6 +43,8 @@ func (s *server) registerMetrics(reg *obs.Registry) {
 			nil, "stage"),
 		gcSweep: reg.Histogram("disk_gc_sweep_duration_seconds",
 			"Wall time of one disk-tier GC sweep.", nil),
+		commit: reg.Histogram("changeset_commit_duration_seconds",
+			"Wall time from mutation request to committed generation swap.", nil),
 	}
 	s.metrics = m
 	s.inc.SetStageObserver(m)
@@ -58,6 +61,10 @@ func (s *server) registerMetrics(reg *obs.Registry) {
 		func() float64 { return float64(s.patches.Load() + s.changesets.Load()) })
 	reg.GaugeFunc("corpus_generation", "Corpus generation counter; bumps once per mutation.",
 		func() float64 { return float64(s.inc.Codebase().Generation()) })
+	reg.GaugeFunc("corpus_pinned_snapshots", "Superseded snapshot generations still pinned by in-flight scans.",
+		func() float64 { return float64(s.inc.Codebase().PinnedSnapshots()) })
+	reg.CounterFunc("async_changesets_total", "Changesets accepted on the async path (generation token returned before commit).",
+		func() float64 { return float64(s.asyncChangesets.Load()) })
 	reg.CounterFunc("disk_gc_removed_total", "Disk-tier entries removed by GC sweeps.",
 		func() float64 { return float64(s.gcRemoved.Load()) })
 
@@ -85,7 +92,8 @@ func (s *server) registerMetrics(reg *obs.Registry) {
 		reg.CounterFunc("remote_breaker_opens_total", "Times the fleet-tier breaker tripped open.",
 			func() float64 { return float64(s.remote.RemoteStats().BreakerOpens) })
 	}
-	s.adm.register(reg)
+	s.adm.register(reg, "admission")
+	s.wadm.register(reg, "write_admission")
 	obs.RegisterBuildInfo(reg, func() float64 { return time.Since(s.started).Seconds() })
 }
 
@@ -98,6 +106,14 @@ func (m *serverMetrics) ObserveStage(stage string, d time.Duration) {
 func (s *server) observeScan(res *scan.Result) {
 	if s.metrics != nil {
 		s.metrics.scanDur.Observe(res.Elapsed.Seconds())
+	}
+}
+
+// observeCommit records one committed corpus mutation — request arrival
+// to generation swap (no-op without metrics).
+func (s *server) observeCommit(d time.Duration) {
+	if s.metrics != nil {
+		s.metrics.commit.Observe(d.Seconds())
 	}
 }
 

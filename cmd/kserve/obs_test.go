@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/kernel"
 	"knighter/internal/obs"
 	"knighter/internal/scan"
@@ -75,8 +76,8 @@ func getMetrics(t *testing.T, ts *httptest.Server) string {
 // series the dashboards and the CI smoke test grep for.
 func TestMetricsExposition(t *testing.T) {
 	_, ts, _ := newObsReplica(t, "")
-	postScan(t, ts, scanRequest{Checker: testChecker})
-	postScan(t, ts, scanRequest{Checker: testChecker}) // warm: memory hits
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker}) // warm: memory hits
 
 	text := getMetrics(t, ts)
 	ids, err := obs.CheckExposition(text)
@@ -110,7 +111,7 @@ func TestMetricsExposition(t *testing.T) {
 // scan.
 func TestMetricsStageTimings(t *testing.T) {
 	_, ts, _ := newObsReplica(t, "")
-	postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	text := getMetrics(t, ts)
 	for _, stage := range []string{
 		scan.StageParse, scan.StageCacheProbe, scan.StageEngineEval, scan.StageSerialize,
@@ -128,7 +129,7 @@ func TestMetricsStageTimings(t *testing.T) {
 func TestIncludeTimingReturnsTimeline(t *testing.T) {
 	_, ts, _ := newObsReplica(t, "")
 
-	resp := postScan(t, ts, scanRequest{Checker: testChecker, IncludeTiming: true})
+	resp := postScan(t, ts, api.ScanRequest{Checker: testChecker, IncludeTiming: true})
 	if resp.TraceID == "" {
 		t.Fatal("include_timing reply has no trace_id")
 	}
@@ -145,7 +146,7 @@ func TestIncludeTimingReturnsTimeline(t *testing.T) {
 		}
 	}
 
-	plain := postScan(t, ts, scanRequest{Checker: testChecker})
+	plain := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	if plain.TraceID != "" || plain.Timing != nil {
 		t.Fatalf("timing leaked into a reply that did not ask for it: %+v", plain.Timing)
 	}
@@ -167,7 +168,7 @@ func TestTraceIDStitchesBothDaemonsLogs(t *testing.T) {
 
 	_, ts, ksLog := newObsReplica(t, kc.URL)
 
-	body, err := json.Marshal(scanRequest{Checker: testChecker, IncludeTiming: true})
+	body, err := json.Marshal(api.ScanRequest{Checker: testChecker, IncludeTiming: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestTraceIDStitchesBothDaemonsLogs(t *testing.T) {
 	if got := resp.Header.Get(obs.TraceHeader); got != traceID {
 		t.Fatalf("response %s = %q, want %q", obs.TraceHeader, got, traceID)
 	}
-	var sr scanResponse
+	var sr api.ScanResponse
 	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
 		t.Fatal(err)
 	}
@@ -211,7 +212,7 @@ func TestTraceIDStitchesBothDaemonsLogs(t *testing.T) {
 func TestSlowScanLogEmitsTimeline(t *testing.T) {
 	srv, ts, logBuf := newObsReplica(t, "")
 	srv.slowScan = time.Nanosecond // everything is slow
-	postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	out := logBuf.String()
 	if !strings.Contains(out, "slow request: route=scan trace=") {
 		t.Fatalf("no slow-request line in log:\n%s", out)
@@ -237,7 +238,7 @@ func TestKcachedMetricsExposition(t *testing.T) {
 
 	// Drive real traffic through a kserve replica so the counters move.
 	_, ts, _ := newObsReplica(t, kc.URL)
-	postScan(t, ts, scanRequest{Checker: testChecker})
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
 
 	resp, err := http.Get(kc.URL + "/metrics")
 	if err != nil {

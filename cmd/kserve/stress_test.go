@@ -9,6 +9,7 @@ import (
 	"sync"
 	"testing"
 
+	"knighter/internal/api"
 	"knighter/internal/ckdsl"
 	"knighter/internal/minic"
 	"knighter/internal/scan"
@@ -16,19 +17,19 @@ import (
 
 // TestStressScansChangesetsAndSaturation is the concurrency-and-
 // backpressure acceptance test, meant to run under -race: many clients
-// hammer /scan, /batch, and /changeset against a tight admission gate at
-// once. It must terminate (no deadlock between the admission queue, the
-// server's request lock, and the codebase lock), every shed response
-// must carry Retry-After, and once the storm drains a quiesced scan must
-// be byte-identical to a cold scan of whatever corpus state the
-// interleaved changesets produced.
+// hammer /scan, /batch, and /changeset against tight read and write
+// admission gates at once. It must terminate (no deadlock between the
+// admission queues, the snapshot pin registry, and the writer ticket
+// queue), every shed response must carry Retry-After, and once the storm
+// drains a quiesced scan must be byte-identical to a cold scan of
+// whatever corpus state the interleaved changesets produced.
 func TestStressScansChangesetsAndSaturation(t *testing.T) {
-	srv, ts := newTestServerWithAdmission(t, newAdmission(2, 2, 0))
+	srv, ts := newTestServerWithGates(t, newAdmission(2, 2, 0), newAdmission(1, 2, 0))
 	cb := srv.inc.Codebase()
-	path := cb.Files[0].Name
-	canonical := minic.FormatFile(cb.Files[0])
-	altPath := cb.Files[1].Name
-	altCanonical := minic.FormatFile(cb.Files[1])
+	path := cb.Files()[0].Name
+	canonical := minic.FormatFile(cb.Files()[0])
+	altPath := cb.Files()[1].Name
+	altCanonical := minic.FormatFile(cb.Files()[1])
 
 	post := func(endpoint string, body any) (*http.Response, error) {
 		data, err := json.Marshal(body)
@@ -53,13 +54,13 @@ func TestStressScansChangesetsAndSaturation(t *testing.T) {
 				var err error
 				switch (g + i) % 3 {
 				case 0:
-					resp, err = post("/scan", scanRequest{Checker: testChecker})
+					resp, err = post("/scan", api.ScanRequest{Checker: testChecker})
 				case 1:
-					resp, err = post("/batch", batchRequest{
+					resp, err = post("/batch", api.BatchRequest{
 						Checkers: []string{testChecker, testCheckerB}, Concurrency: 2,
 					})
 				case 2:
-					resp, err = post("/changeset", changesetRequest{Changes: []changeJSON{
+					resp, err = post("/changeset", api.ChangesetRequest{Changes: []api.Change{
 						{Path: path, Source: canonical},
 						{Path: altPath, Source: altCanonical},
 					}})
@@ -93,18 +94,24 @@ func TestStressScansChangesetsAndSaturation(t *testing.T) {
 		t.Error(e)
 	}
 
-	// The books must balance exactly: every request either completed or
-	// was shed, and the gate is fully drained.
+	// The books must balance exactly across BOTH gates: every request
+	// either completed or was shed, and both gates are fully drained.
 	stats := getStats(t, ts)
-	if stats.Admission == nil {
+	if stats.Admission == nil || stats.WriteAdmission == nil {
 		t.Fatal("admission stats missing")
 	}
-	if got := stats.Admission.Admitted + stats.Admission.Shed; got != clients*iters {
-		t.Fatalf("admitted %d + shed %d = %d, want %d",
-			stats.Admission.Admitted, stats.Admission.Shed, got, clients*iters)
+	total := stats.Admission.Admitted + stats.Admission.Shed +
+		stats.WriteAdmission.Admitted + stats.WriteAdmission.Shed
+	if total != clients*iters {
+		t.Fatalf("read admitted %d + shed %d + write admitted %d + shed %d = %d, want %d",
+			stats.Admission.Admitted, stats.Admission.Shed,
+			stats.WriteAdmission.Admitted, stats.WriteAdmission.Shed, total, clients*iters)
 	}
 	if stats.Admission.Inflight != 0 || stats.Admission.Queued != 0 {
-		t.Fatalf("gate not drained after storm: %+v", stats.Admission)
+		t.Fatalf("read gate not drained after storm: %+v", stats.Admission)
+	}
+	if stats.WriteAdmission.Inflight != 0 || stats.WriteAdmission.Queued != 0 {
+		t.Fatalf("write gate not drained after storm: %+v", stats.WriteAdmission)
 	}
 	if statuses[http.StatusOK] == 0 {
 		t.Fatal("no request was admitted during the storm")
@@ -113,7 +120,7 @@ func TestStressScansChangesetsAndSaturation(t *testing.T) {
 	// Post-drain equivalence: a quiesced request must serve exactly what
 	// a cold scan of the final corpus state produces, whatever order the
 	// changesets landed in.
-	quiesced := postScan(t, ts, scanRequest{Checker: testChecker})
+	quiesced := postScan(t, ts, api.ScanRequest{Checker: testChecker})
 	cold, err := scan.NewCodebase(cb.Corpus)
 	if err != nil {
 		t.Fatal(err)
@@ -162,7 +169,7 @@ func TestStressHealthzDuringSaturation(t *testing.T) {
 		t.Fatalf("stats under saturation = %+v", stats.Admission)
 	}
 	// And a scan-shaped request sheds instead of hanging.
-	data, _ := json.Marshal(scanRequest{Checker: testChecker})
+	data, _ := json.Marshal(api.ScanRequest{Checker: testChecker})
 	sresp, err := http.Post(ts.URL+"/scan", "application/json", bytes.NewReader(data))
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,354 @@
+// Package api defines the wire types of the scan service: every
+// request and response body kserve speaks, plus the uniform error
+// envelope and the generation-awareness conventions shared by all of
+// them. Clients (the refinement loop, the eval harness, tests, fleet
+// siblings) import this package instead of re-declaring ad-hoc structs
+// against the JSON.
+//
+// Conventions:
+//
+//   - Every response — success or error — carries the corpus generation
+//     it was served against, both in the body ("generation") and in the
+//     GenerationHeader. A scan's generation is the snapshot it pinned;
+//     a mutation's is the generation it committed.
+//   - Scan-shaped requests accept "min_generation": serve-at-or-after.
+//     The daemon waits a bounded interval for the corpus to reach that
+//     generation and answers 409 (ErrGenerationUnavailable) with the
+//     current generation and a retry hint if it cannot.
+//   - Errors use the envelope {"error": {"code", "message",
+//     "retry_after_ms"}}. The old flat string key has been replaced by
+//     the envelope; for one release the bare message is duplicated at
+//     "error_legacy" for clients mid-migration (see README,
+//     "API envelope").
+package api
+
+import (
+	"knighter/internal/obs"
+	"knighter/internal/store"
+)
+
+// GenerationHeader is the response header carrying the corpus
+// generation the request was served against, on every endpoint
+// including errors — so even a shed or rejected request tells the
+// client where the corpus stands.
+const GenerationHeader = "X-KN-Generation"
+
+// Error codes. Stable strings, coarser than HTTP status codes only
+// where HTTP is too coarse (409 means "generation unavailable" here).
+const (
+	// ErrBadRequest: malformed body or missing required field (400).
+	ErrBadRequest = "bad_request"
+	// ErrMethodNotAllowed: wrong HTTP method (405).
+	ErrMethodNotAllowed = "method_not_allowed"
+	// ErrNotFound: unknown file path or unknown resource (404).
+	ErrNotFound = "not_found"
+	// ErrUnprocessable: well-formed but rejected — checker does not
+	// compile, changeset fails validation (422).
+	ErrUnprocessable = "unprocessable"
+	// ErrOverloaded: shed by admission control; retry_after_ms is set
+	// (429, with the Retry-After header as before).
+	ErrOverloaded = "overloaded"
+	// ErrGenerationUnavailable: min_generation not reached within the
+	// bounded wait; the body's generation is the current one and
+	// retry_after_ms hints when to ask again (409).
+	ErrGenerationUnavailable = "generation_unavailable"
+	// ErrUnavailable: a subsystem is not configured (e.g. /metrics
+	// without a registry) (404/503).
+	ErrUnavailable = "unavailable"
+)
+
+// Error is the uniform error envelope's payload.
+type Error struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+	// RetryAfterMS, when > 0, hints when retrying may succeed —
+	// admission sheds and unsatisfied min_generation waits set it.
+	RetryAfterMS int64 `json:"retry_after_ms,omitempty"`
+}
+
+// ErrorResponse is every non-2xx body.
+type ErrorResponse struct {
+	Err *Error `json:"error"`
+	// LegacyError duplicates Err.Message where clients of the removed
+	// flat `"error": "<msg>"` shape can reach it with a one-key change.
+	// Deprecated: read Err instead; this field lasts one release.
+	LegacyError string `json:"error_legacy,omitempty"`
+	// Generation is the corpus generation at the time of the error —
+	// for ErrGenerationUnavailable, the generation the daemon is AT.
+	Generation int64 `json:"generation"`
+}
+
+// ScanRequest is the POST /scan body.
+type ScanRequest struct {
+	// Checker is the checker-DSL program text.
+	Checker string `json:"checker"`
+	// Files optionally restricts the scan to these corpus paths.
+	Files []string `json:"files,omitempty"`
+	// MaxReports caps collected reports (0 = unlimited).
+	MaxReports int `json:"max_reports,omitempty"`
+	// Workers overrides the parallelism degree (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// FuncTimeoutMS overrides the server's per-function analysis budget
+	// in milliseconds (0 = server default).
+	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
+	// MinGeneration, when > 0, asks to be served at-or-after that corpus
+	// generation — read-your-writes for a client holding a changeset
+	// token. The daemon waits a bounded interval; if the corpus does not
+	// reach the generation in time the request fails 409 with
+	// ErrGenerationUnavailable.
+	MinGeneration int64 `json:"min_generation,omitempty"`
+	// IncludeTrace adds the per-report path trace to the response.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+	// IncludeTiming adds the request's trace id and per-stage span
+	// timeline to the response — the same timeline the slow-request log
+	// prints, on demand.
+	IncludeTiming bool `json:"include_timing,omitempty"`
+}
+
+// Report is one bug report on the wire.
+type Report struct {
+	Checker string      `json:"checker"`
+	BugType string      `json:"bug_type"`
+	Message string      `json:"message"`
+	File    string      `json:"file"`
+	Func    string      `json:"func"`
+	Line    int         `json:"line"`
+	Col     int         `json:"col"`
+	Region  string      `json:"region,omitempty"`
+	Trace   []TraceStep `json:"trace,omitempty"`
+}
+
+// TraceStep is one step of a report's path trace.
+type TraceStep struct {
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Note string `json:"note"`
+}
+
+// CacheStats reports per-request cache effectiveness.
+type CacheStats struct {
+	Hits    int     `json:"hits"`
+	Misses  int     `json:"misses"`
+	HitRate float64 `json:"hit_rate"`
+	// Coalesced counts misses served by sharing another request's
+	// in-flight computation of the same key.
+	Coalesced int `json:"coalesced,omitempty"`
+}
+
+// ScanResponse is the POST /scan reply, and one entry of POST /batch.
+type ScanResponse struct {
+	Checker string `json:"checker"`
+	// Error is the per-entry compile error inside a batch reply (the
+	// whole-request error path uses ErrorResponse instead).
+	Error        string     `json:"error,omitempty"`
+	Reports      []Report   `json:"reports"`
+	FilesScanned int        `json:"files_scanned"`
+	FuncsScanned int        `json:"funcs_scanned"`
+	RuntimeErrs  []string   `json:"runtime_errs,omitempty"`
+	Truncated    bool       `json:"truncated"`
+	Canceled     bool       `json:"canceled,omitempty"`
+	TimedOut     int        `json:"funcs_timed_out,omitempty"`
+	Cache        CacheStats `json:"cache"`
+	// Generation is the snapshot generation the scan pinned: every
+	// report above was computed against exactly that corpus state.
+	Generation int64   `json:"generation"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// TraceID and Timing are present when the request asked for
+	// include_timing: the request's trace id (echoed in the X-Trace-Id
+	// response header too) and its per-stage span timeline.
+	TraceID string     `json:"trace_id,omitempty"`
+	Timing  []obs.Span `json:"timing,omitempty"`
+}
+
+// BatchRequest is the POST /batch body: N checker revisions evaluated
+// over the shared store in one request.
+type BatchRequest struct {
+	// Checkers are the checker-DSL program texts.
+	Checkers []string `json:"checkers"`
+	// Files optionally restricts every scan to these corpus paths.
+	Files []string `json:"files,omitempty"`
+	// MaxReports caps collected reports per checker (0 = unlimited).
+	MaxReports int `json:"max_reports,omitempty"`
+	// Workers overrides each scan's parallelism (0 = auto-scaled to the
+	// pool size).
+	Workers int `json:"workers,omitempty"`
+	// Concurrency bounds how many checkers run at once (0 = GOMAXPROCS).
+	Concurrency int `json:"concurrency,omitempty"`
+	// FuncTimeoutMS overrides the server's per-function analysis budget.
+	FuncTimeoutMS int `json:"func_timeout_ms,omitempty"`
+	// MinGeneration: serve-at-or-after, as on ScanRequest. The whole
+	// batch pins ONE snapshot at or after it.
+	MinGeneration int64 `json:"min_generation,omitempty"`
+	// IncludeTrace adds per-report path traces to the responses.
+	IncludeTrace bool `json:"include_trace,omitempty"`
+	// IncludeTiming adds the request's trace id and stage timeline to
+	// the batch reply (one trace per HTTP request; entries share it).
+	IncludeTiming bool `json:"include_timing,omitempty"`
+}
+
+// BatchResponse is the POST /batch reply: per-checker results in
+// request order plus aggregate cache effectiveness.
+type BatchResponse struct {
+	Results []*ScanResponse `json:"results"`
+	// CheckersRun counts checkers that compiled and scanned;
+	// CheckerErrors counts entries rejected at compile time.
+	CheckersRun   int        `json:"checkers_run"`
+	CheckerErrors int        `json:"checker_errors"`
+	Cache         CacheStats `json:"cache"`
+	// Generation is the single snapshot generation every entry scanned:
+	// the batch pins once, so all results are mutually consistent.
+	Generation int64   `json:"generation"`
+	ElapsedMS  float64 `json:"elapsed_ms"`
+	// TraceID and Timing are present when the request asked for
+	// include_timing; the timeline aggregates all entries' stages.
+	TraceID string     `json:"trace_id,omitempty"`
+	Timing  []obs.Span `json:"timing,omitempty"`
+}
+
+// PatchRequest is the POST /patch body. An empty Func replaces the
+// whole file with Source; otherwise Source must be a single function
+// that replaces Func within the file.
+type PatchRequest struct {
+	Path   string `json:"path"`
+	Func   string `json:"func,omitempty"`
+	Source string `json:"source"`
+}
+
+// PatchResponse reports what one mutation touched — and, critically,
+// what it did NOT: ChangedFuncs is exactly the number of functions the
+// next scan will miss on.
+type PatchResponse struct {
+	Path             string  `json:"path"`
+	Mode             string  `json:"mode"` // "patch" or "replace"
+	Funcs            int     `json:"funcs"`
+	ChangedFuncs     int     `json:"changed_funcs"`
+	StaleHashes      int     `json:"stale_hashes"`
+	StoreInvalidated int     `json:"store_invalidated"`
+	Generation       int64   `json:"generation"`
+	ElapsedMS        float64 `json:"elapsed_ms"`
+}
+
+// Change is one element of a changeset request. Each change follows
+// /patch semantics (empty func = whole-file replace, set func =
+// single-function patch).
+type Change struct {
+	Path   string `json:"path"`
+	Func   string `json:"func,omitempty"`
+	Source string `json:"source"`
+}
+
+// ChangesetRequest is the POST /changeset body: a commit-sized batch of
+// file updates applied atomically — one snapshot swap, one generation
+// bump, and a bad change rejects the entire set.
+type ChangesetRequest struct {
+	Changes []Change `json:"changes"`
+	// Async, when true, reserves a generation token and returns
+	// immediately with status "pending"; the changeset commits in the
+	// background in token order. Poll GET /changeset/status, or pass the
+	// token as min_generation on the next scan to read your write.
+	Async bool `json:"async,omitempty"`
+}
+
+// Changeset status values, as reported by ChangesetResponse.Status and
+// GET /changeset/status.
+const (
+	// StatusPending: token reserved, commit in flight.
+	StatusPending = "pending"
+	// StatusCommitted: the changeset is visible at its generation.
+	StatusCommitted = "committed"
+	// StatusFailed: validation failed after the token was reserved; the
+	// generation was burned with an empty commit (corpus unchanged).
+	StatusFailed = "failed"
+)
+
+// ChangesetResponse is the POST /changeset reply. A sync changeset
+// returns status "committed" with the full outcome; an async one
+// returns status "pending" with only the reserved Generation token.
+type ChangesetResponse struct {
+	Async  bool   `json:"async,omitempty"`
+	Status string `json:"status"`
+	// Generation: for sync, the committed generation; for async, the
+	// reserved token the commit WILL land at.
+	Generation       int64    `json:"generation"`
+	Ops              int      `json:"ops,omitempty"`
+	Files            []string `json:"files,omitempty"`
+	ChangedFuncs     int      `json:"changed_funcs,omitempty"`
+	StaleHashes      int      `json:"stale_hashes,omitempty"`
+	StoreInvalidated int      `json:"store_invalidated,omitempty"`
+	ElapsedMS        float64  `json:"elapsed_ms"`
+}
+
+// ChangesetStatus is the GET /changeset/status?generation=N reply: the
+// recorded outcome of an async changeset.
+type ChangesetStatus struct {
+	Generation int64  `json:"generation"`
+	Status     string `json:"status"`
+	// Ops/Files/ChangedFuncs/StaleHashes/StoreInvalidated carry the
+	// committed outcome once Status is "committed".
+	Ops              int      `json:"ops,omitempty"`
+	Files            []string `json:"files,omitempty"`
+	ChangedFuncs     int      `json:"changed_funcs,omitempty"`
+	StaleHashes      int      `json:"stale_hashes,omitempty"`
+	StoreInvalidated int      `json:"store_invalidated,omitempty"`
+	// Error is the validation failure once Status is "failed".
+	Error string `json:"error,omitempty"`
+}
+
+// AdmissionStats is the GET /stats view of an admission gate.
+type AdmissionStats struct {
+	MaxInflight        int   `json:"max_inflight"`
+	MaxQueued          int64 `json:"max_queued"`
+	MaxQueuedPerClient int64 `json:"max_queued_per_client,omitempty"`
+	Inflight           int64 `json:"inflight"`
+	Queued             int64 `json:"queued"`
+	QueuedClients      int   `json:"queued_clients"`
+	Admitted           int64 `json:"admitted"`
+	Shed               int64 `json:"shed"`
+	// FairnessShed counts sheds caused by the per-client bound alone —
+	// requests that would have queued had another client sent them.
+	FairnessShed int64 `json:"fairness_shed"`
+}
+
+// StatsResponse is the GET /stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Version       string  `json:"version"`
+	GoVersion     string  `json:"go_version"`
+	Files         int     `json:"files"`
+	Funcs         int     `json:"funcs"`
+	Generation    int64   `json:"generation"`
+	// PinnedSnapshots counts old generations in-flight scans still hold
+	// pinned — retained corpus versions an operator can watch.
+	PinnedSnapshots int         `json:"pinned_snapshots"`
+	Scans           int64       `json:"scans"`
+	Batches         int64       `json:"batches"`
+	Patches         int64       `json:"patches"`
+	Changesets      int64       `json:"changesets"`
+	AsyncChangesets int64       `json:"async_changesets"`
+	ScanErrors      int64       `json:"scan_errors"`
+	ScansCanceled   int64       `json:"scans_canceled"`
+	ReportsServed   int64       `json:"reports_served"`
+	GCRemoved       int64       `json:"gc_removed"`
+	Store           store.Stats `json:"store"`
+	StoreHitRate    float64     `json:"store_hit_rate"`
+	// Remote is present only when the daemon runs with a fleet cache
+	// tier (-cache-remote): the client-side view of the shared tier's
+	// health, including circuit-breaker state.
+	Remote *store.RemoteStats `json:"remote,omitempty"`
+	// Admission is present only when the daemon runs with read
+	// admission control (-max-inflight > 0); WriteAdmission mirrors it
+	// for the write gate (-max-inflight-writes), which exists so
+	// changeset storms shed writes without ever shedding reads.
+	Admission      *AdmissionStats `json:"admission,omitempty"`
+	WriteAdmission *AdmissionStats `json:"write_admission,omitempty"`
+}
+
+// HealthzResponse is the GET /healthz reply.
+type HealthzResponse struct {
+	OK         bool  `json:"ok"`
+	Files      int   `json:"files"`
+	Generation int64 `json:"generation"`
+	// PinnedSnapshots mirrors StatsResponse's field so a liveness probe
+	// can watch snapshot retention without the full stats body.
+	PinnedSnapshots int `json:"pinned_snapshots"`
+}

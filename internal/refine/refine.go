@@ -231,7 +231,7 @@ func (l *Loop) fpFunctionSources(fps []*checker.Report) []string {
 			if f.Path != fp.File {
 				continue
 			}
-			if fn := cb.Files[i].LookupFunc(fp.Func); fn != nil {
+			if fn := cb.Files()[i].LookupFunc(fp.Func); fn != nil {
 				out = append(out, minic.FormatFunc(fn))
 			}
 		}

@@ -1,0 +1,121 @@
+package scan
+
+import (
+	"fmt"
+
+	"knighter/internal/minic"
+)
+
+// AsyncChangeset is a changeset commit in flight. The generation token
+// is assigned synchronously — reserving the changeset's place in the
+// commit order before ApplyChangesetAsync returns — and the parse,
+// stage, and swap happen in the background. Clients hold the token and
+// either wait on Done/Result or poll the codebase's generation (kserve
+// exposes both, via /changeset/status and min_generation).
+type AsyncChangeset struct {
+	// Generation is the token this changeset will commit as. It is
+	// reserved up front: the codebase's committed generation reaches it
+	// exactly when this changeset is visible (or has failed — a failed
+	// async changeset publishes an empty commit at its token, so the
+	// counter still advances and later tokens are never stranded).
+	Generation int64
+
+	done       chan struct{}
+	cs         *Changeset
+	err        error
+	invalidate func([]string) int
+}
+
+// Done is closed once the changeset has committed (or failed). After
+// Done, Result returns without blocking.
+func (a *AsyncChangeset) Done() <-chan struct{} { return a.done }
+
+// Result blocks until the commit completes and returns its outcome: the
+// applied changeset, or the error that voided it. A voided changeset
+// still consumed its generation token (as an empty commit).
+func (a *AsyncChangeset) Result() (*Changeset, error) {
+	<-a.done
+	return a.cs, a.err
+}
+
+// ApplyChangesetAsync reserves the next generation token and returns
+// immediately; the changeset parses, stages, and commits in the
+// background, in token order behind any writers ahead of it. The
+// returned AsyncChangeset's Generation is valid the moment this
+// returns — a client can pass it straight back as min_generation to
+// read its own write.
+//
+// Failure semantics differ from the sync path: the token is already
+// public, so a changeset that fails validation publishes an EMPTY
+// commit at its generation (content unchanged, counter advanced) and
+// reports the error through Result. Callers that need
+// reject-means-no-generation semantics use the sync ApplyChangeset.
+func (cb *Codebase) ApplyChangesetAsync(changes []Change) *AsyncChangeset {
+	return cb.applyChangesetAsync(changes, nil)
+}
+
+// ApplyChangesetAsync is the store-aware variant: after the background
+// commit lands, the orphaned store entries of the committed generation
+// are invalidated (see Incremental.ApplyChangeset) before Done closes.
+func (inc *Incremental) ApplyChangesetAsync(changes []Change) *AsyncChangeset {
+	return inc.cb.applyChangesetAsync(changes, inc.invalidateHashes)
+}
+
+func (cb *Codebase) applyChangesetAsync(changes []Change, invalidate func([]string) int) *AsyncChangeset {
+	a := &AsyncChangeset{done: make(chan struct{}), invalidate: invalidate}
+	cb.wmu.Lock()
+	cb.nextGen++
+	a.Generation = cb.nextGen
+	cb.wmu.Unlock()
+	go a.run(cb, changes)
+	return a
+}
+
+func (a *AsyncChangeset) run(cb *Codebase, changes []Change) {
+	// Parse outside the mutation lock, like the sync path: the raw
+	// parses are the expensive part and read nothing from the codebase.
+	var parsed []*minic.File
+	var err error
+	if len(changes) == 0 {
+		err = fmt.Errorf("scan: empty changeset")
+	} else {
+		parsed, err = parseChanges(changes)
+	}
+
+	cb.wmu.Lock()
+	// Commit strictly in token order: wait until the generation just
+	// below ours is live. Every earlier token belongs to another async
+	// changeset whose goroutine will publish (real or empty commit), and
+	// sync writers only number themselves when nothing is reserved, so
+	// this always makes progress.
+	for cb.generation.Load() != a.Generation-1 {
+		cb.wcond.Wait()
+	}
+	parent := cb.snap.Load()
+	var cs *Changeset
+	if err == nil {
+		work, srcs, touched, serr := stageChanges(parent, changes, parsed)
+		if serr != nil {
+			err = serr
+		} else {
+			cs = cb.commitLocked(parent, len(changes), work, srcs, touched, a.Generation)
+		}
+	}
+	if cs == nil {
+		// Burn the token: an empty commit at our generation keeps the
+		// counter monotonic and in token order, so later async commits
+		// and min_generation waiters are never stranded behind a failure.
+		cb.commitLocked(parent, 0, nil, nil, nil, a.Generation)
+	}
+	cb.wmu.Unlock()
+
+	// Store invalidation runs after the swap, against the committed
+	// generation's stale hashes — outside the writer lock, because a
+	// store pass can be slow (remote tier) and stale entries are
+	// content-addressed garbage, not corruption.
+	if cs != nil && a.invalidate != nil {
+		cs.StoreInvalidated = a.invalidate(cs.StaleHashes)
+	}
+	a.cs, a.err = cs, err
+	close(a.done)
+}

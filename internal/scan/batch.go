@@ -21,10 +21,16 @@ import (
 // each inner scan's parallelism is scaled down so the batch does not
 // oversubscribe the machine by concurrency×GOMAXPROCS.
 //
+// The batch pins ONE snapshot for all its checkers: every entry scans
+// the same generation, even if changesets commit while the batch runs,
+// so the per-checker results are mutually consistent.
+//
 // A nil files slice scans every file.
 func (inc *Incremental) RunBatch(checkers []checker.Checker, files []int, opts Options, concurrency int) []*Result {
+	snap := inc.cb.Pin()
+	defer snap.Release()
 	if files == nil {
-		files = make([]int, len(inc.cb.Files))
+		files = make([]int, len(snap.files))
 		for i := range files {
 			files[i] = i
 		}
@@ -50,7 +56,7 @@ func (inc *Incremental) RunBatch(checkers []checker.Checker, files []int, opts O
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = inc.RunFiles(files, []checker.Checker{checkers[i]}, opts)
+				results[i] = inc.RunFilesAt(snap.Snapshot, files, []checker.Checker{checkers[i]}, opts)
 			}
 		}()
 	}

@@ -36,7 +36,7 @@ type FileChange struct {
 
 // Changeset describes one atomically applied multi-file changeset: the
 // commit-sized unit of corpus mutation. However many files it touches,
-// it costs one write-lock drain and exactly one generation bump.
+// it costs one snapshot swap and exactly one generation bump.
 type Changeset struct {
 	// Ops is the number of changes applied.
 	Ops int
@@ -83,26 +83,11 @@ func opContext(oi, n int, c Change) string {
 	return fmt.Sprintf("scan: changeset op %d (%s)", oi, verb)
 }
 
-// ApplyChangeset applies every change atomically: all ops are validated
-// and staged against working copies first, so a bad op — unknown file,
-// unknown function, parse error — rejects the whole changeset and leaves
-// the codebase untouched. On success every touched file swaps in at
-// once, under a single write-lock acquisition and a single generation
-// bump, and only the touched files re-parse.
-//
-// Ops apply in order against the staged state, so a patch may target a
-// function introduced by an earlier replace of the same file in the same
-// changeset. Like Patch and Replace, ApplyChangeset blocks until
-// in-flight scans drain and blocks new scans until the swap is done.
-func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
-	if len(changes) == 0 {
-		return nil, fmt.Errorf("scan: empty changeset")
-	}
-	// Parse every op's source BEFORE taking the write lock: the raw
-	// parses read nothing from the codebase, and they are the expensive
-	// part of a mutation — doing them outside keeps the scan-blocking
-	// drain window to the swap itself (plus the patched files' canonical
-	// re-renders, which depend on staged state and cannot move out).
+// parseChanges parses every op's source BEFORE the mutation lock is
+// taken: the raw parses read nothing from the codebase, and they are
+// the expensive part of a mutation — doing them outside keeps the
+// writer-serialized window to the stage and swap themselves.
+func parseChanges(changes []Change) ([]*minic.File, error) {
 	parsed := make([]*minic.File, len(changes))
 	for oi, c := range changes {
 		where := opContext(oi, len(changes), c)
@@ -116,15 +101,20 @@ func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
 		}
 		parsed[oi] = pf
 	}
+	return parsed, nil
+}
 
-	cb.mu.Lock()
-	defer cb.mu.Unlock()
-
-	// Stage: build each touched file's final AST and source without
-	// mutating the codebase.
-	work := map[int]*minic.File{}
-	srcs := map[int]string{}
-	var touched []int
+// stageChanges builds each touched file's final AST and source against
+// the parent snapshot, without mutating anything: a bad op — unknown
+// file, unknown function, re-parse failure — rejects the whole
+// changeset and no generation is consumed by the sync path.
+//
+// Ops apply in order against the staged state, so a patch may target a
+// function introduced by an earlier replace of the same file in the
+// same changeset.
+func stageChanges(parent *Snapshot, changes []Change, parsed []*minic.File) (work map[int]*minic.File, srcs map[int]string, touched []int, err error) {
+	work = map[int]*minic.File{}
+	srcs = map[int]string{}
 	stage := func(i int, nf *minic.File, src string) {
 		if _, seen := work[i]; !seen {
 			touched = append(touched, i)
@@ -134,16 +124,16 @@ func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
 	}
 	for oi, c := range changes {
 		where := opContext(oi, len(changes), c)
-		i := cb.fileIndex(c.Path)
+		i := parent.FileIndex(c.Path)
 		if i < 0 {
-			return nil, fmt.Errorf("%s: no such file", where)
+			return nil, nil, nil, fmt.Errorf("%s: no such file", where)
 		}
 		if c.Func == "" {
 			stage(i, parsed[oi], c.Source)
 			continue
 		}
 		pf := parsed[oi]
-		old := cb.Files[i]
+		old := parent.files[i]
 		if staged, ok := work[i]; ok {
 			old = staged
 		}
@@ -155,7 +145,7 @@ func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
 			}
 		}
 		if j < 0 {
-			return nil, fmt.Errorf("%s: no such function", where)
+			return nil, nil, nil, fmt.Errorf("%s: no such function", where)
 		}
 		funcs := make([]*minic.FuncDecl, len(old.Funcs))
 		copy(funcs, old.Funcs)
@@ -166,39 +156,42 @@ func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
 		src := minic.FormatFile(&minic.File{
 			Name: old.Name, Structs: old.Structs, Globals: old.Globals, Funcs: funcs,
 		})
-		nf, err := minic.ParseFile(c.Path, src)
-		if err != nil {
+		nf, perr := minic.ParseFile(c.Path, src)
+		if perr != nil {
 			// The canonical printer emitted something the parser rejects —
 			// a printer bug, but surface it rather than corrupt the file.
-			return nil, fmt.Errorf("%s: re-parse of patched file: %w", where, err)
+			return nil, nil, nil, fmt.Errorf("%s: re-parse of patched file: %w", where, perr)
 		}
 		stage(i, nf, src)
 	}
+	return work, srcs, touched, nil
+}
 
-	// Commit. Pre-changeset hashes come first, while the memo still
-	// reflects the old ASTs; then every file swaps in; then one
-	// generation bump covers the whole changeset.
+// commitLocked publishes generation gen: it builds the successor
+// snapshot off the parent, diffs the touched files' content hashes,
+// rewrites the corpus ground-truth sources, and swaps the live
+// pointer. Caller holds cb.wmu and has already reserved gen
+// (cb.nextGen >= gen, cb.generation == gen-1). An empty work map
+// publishes a content-identical snapshot — how a failed async
+// changeset burns its reserved token without stranding later ones.
+func (cb *Codebase) commitLocked(parent *Snapshot, ops int, work map[int]*minic.File, srcs map[int]string, touched []int, gen int64) *Changeset {
+	// Pre-changeset hashes come from the parent's memo, which still
+	// reflects the old ASTs and is shared by every reader pinned to it.
 	oldHashes := make(map[int]map[string]bool, len(touched))
 	for _, i := range touched {
-		hs := make(map[string]bool, len(cb.Files[i].Funcs))
-		for j := range cb.Files[i].Funcs {
-			hs[cb.funcHash(i, j)] = true
+		hs := make(map[string]bool, len(parent.files[i].Funcs))
+		for j := range parent.files[i].Funcs {
+			hs[parent.FuncHash(i, j)] = true
 		}
 		oldHashes[i] = hs
 	}
+	next := parent.next(gen, work)
+	cs := &Changeset{Ops: ops, Generation: gen}
 	for _, i := range touched {
-		nf := work[i]
-		cb.numFuncs.Add(int64(len(nf.Funcs) - len(cb.Files[i].Funcs)))
-		cb.Files[i] = nf
-		cb.Corpus.Files[i].Src = srcs[i]
-		cb.invalidateFileHashes(i)
-	}
-	cs := &Changeset{Ops: len(changes), Generation: cb.generation.Add(1)}
-	for _, i := range touched {
-		fc := &FileChange{Path: cb.Files[i].Name, File: i, Funcs: len(cb.Files[i].Funcs)}
+		fc := &FileChange{Path: next.files[i].Name, File: i, Funcs: len(next.files[i].Funcs)}
 		newHashes := make(map[string]bool, fc.Funcs)
 		for j := 0; j < fc.Funcs; j++ {
-			h := cb.funcHash(i, j)
+			h := next.FuncHash(i, j)
 			newHashes[h] = true
 			if !oldHashes[i][h] {
 				fc.Changed++
@@ -215,12 +208,67 @@ func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
 		cs.StaleHashes = append(cs.StaleHashes, fc.StaleHashes...)
 	}
 	sort.Strings(cs.StaleHashes)
-	return cs, nil
+	// The corpus ground truth mirrors the committed generation: srcs
+	// rewrite under wmu, so NewCodebase(cb.Corpus) at writer quiescence
+	// reproduces the live snapshot exactly.
+	for _, i := range touched {
+		cb.Corpus.Files[i].Src = srcs[i]
+	}
+	// Publish: one pointer swap makes the generation live; the atomics
+	// follow so lock-free probes agree with the snapshot they'd pin.
+	cb.snap.Store(next)
+	cb.numFuncs.Store(int64(next.numFuncs))
+	cb.generation.Store(gen)
+	cb.notifyGeneration()
+	cb.wcond.Broadcast()
+	return cs
+}
+
+// ApplyChangeset applies every change atomically: all ops are validated
+// and staged against working copies first, so a bad op — unknown file,
+// unknown function, parse error — rejects the whole changeset, leaves
+// the codebase untouched, and consumes no generation. On success every
+// touched file swaps in at once, as a single new snapshot and a single
+// generation bump, and only the touched files re-parse.
+//
+// Unlike the old write-lock design, ApplyChangeset never waits for
+// in-flight scans and never blocks new ones: readers pinned to the
+// previous generation keep running against it while this commit
+// publishes the next. It does serialize with other writers, waiting
+// its turn behind any async changeset tokens already reserved.
+func (cb *Codebase) ApplyChangeset(changes []Change) (*Changeset, error) {
+	if len(changes) == 0 {
+		return nil, fmt.Errorf("scan: empty changeset")
+	}
+	parsed, err := parseChanges(changes)
+	if err != nil {
+		return nil, err
+	}
+	cb.wmu.Lock()
+	defer cb.wmu.Unlock()
+	// Wait until every reserved async token ahead of us has committed:
+	// generations publish in token order, and a sync changeset's
+	// generation is only assigned here — on success — so a rejected one
+	// never burns a number.
+	for cb.generation.Load() != cb.nextGen {
+		cb.wcond.Wait()
+	}
+	parent := cb.snap.Load()
+	work, srcs, touched, err := stageChanges(parent, changes, parsed)
+	if err != nil {
+		return nil, err
+	}
+	cb.nextGen++
+	return cb.commitLocked(parent, len(changes), work, srcs, touched, cb.nextGen), nil
 }
 
 // ApplyChangeset applies a multi-file changeset to the codebase (see
 // Codebase.ApplyChangeset) and invalidates every orphaned store entry in
-// one pass over the store.
+// one pass over the store. Invalidation runs after the commit, against
+// the committed generation's stale-hash set — never against mid-build
+// state — and stale entries are content-addressed, so the window
+// between swap and invalidation can serve no wrong results, only
+// unreachable ones.
 func (inc *Incremental) ApplyChangeset(changes []Change) (*Changeset, error) {
 	cs, err := inc.cb.ApplyChangeset(changes)
 	if err != nil {

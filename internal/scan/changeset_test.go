@@ -14,7 +14,7 @@ import (
 func pickFiles(t *testing.T, cb *Codebase, n, minFuncs int) []int {
 	t.Helper()
 	var out []int
-	for i, f := range cb.Files {
+	for i, f := range cb.Files() {
 		if len(f.Funcs) >= minFuncs {
 			out = append(out, i)
 			if len(out) == n {
@@ -52,10 +52,10 @@ func TestChangesetConfinesMissesToTouchedFiles(t *testing.T) {
 	// below it shifts: exactly one hash changes per touched file.
 	var changes []Change
 	for _, i := range files {
-		j := len(cb.Files[i].Funcs) - 1
+		j := len(cb.Files()[i].Funcs) - 1
 		changes = append(changes, Change{
-			Path:   cb.Files[i].Name,
-			Func:   cb.Files[i].Funcs[j].Name,
+			Path:   cb.Files()[i].Name,
+			Func:   cb.Files()[i].Funcs[j].Name,
 			Source: tweakedFunc(t, cb, i, j),
 		})
 	}
@@ -92,7 +92,7 @@ func TestChangesetConfinesMissesToTouchedFiles(t *testing.T) {
 	for _, i := range files {
 		touched[i] = true
 	}
-	for fi := range cb.Files {
+	for fi := range cb.Files() {
 		if !touched[fi] {
 			others = append(others, fi)
 		}
@@ -135,20 +135,20 @@ func TestChangesetIsAtomic(t *testing.T) {
 		changes []Change
 	}{
 		{"second op unknown file", []Change{
-			{Path: cb.Files[files[0]].Name, Source: minic.FormatFile(cb.Files[files[0]])},
+			{Path: cb.Files()[files[0]].Name, Source: minic.FormatFile(cb.Files()[files[0]])},
 			{Path: "no/such/file.c", Source: "int x;"},
 		}},
 		{"second op parse error", []Change{
-			{Path: cb.Files[files[0]].Name, Source: minic.FormatFile(cb.Files[files[0]])},
-			{Path: cb.Files[files[1]].Name, Source: "int broken("},
+			{Path: cb.Files()[files[0]].Name, Source: minic.FormatFile(cb.Files()[files[0]])},
+			{Path: cb.Files()[files[1]].Name, Source: "int broken("},
 		}},
 		{"second op unknown function", []Change{
-			{Path: cb.Files[files[0]].Name, Source: minic.FormatFile(cb.Files[files[0]])},
-			{Path: cb.Files[files[1]].Name, Func: "no_such_function", Source: "int f(void)\n{\n\treturn 0;\n}"},
+			{Path: cb.Files()[files[0]].Name, Source: minic.FormatFile(cb.Files()[files[0]])},
+			{Path: cb.Files()[files[1]].Name, Func: "no_such_function", Source: "int f(void)\n{\n\treturn 0;\n}"},
 		}},
 		{"patch smuggling a global", []Change{
-			{Path: cb.Files[files[0]].Name, Func: cb.Files[files[0]].Funcs[0].Name,
-				Source: "int smuggled;\n" + minic.FormatFunc(cb.Files[files[0]].Funcs[0])},
+			{Path: cb.Files()[files[0]].Name, Func: cb.Files()[files[0]].Funcs[0].Name,
+				Source: "int smuggled;\n" + minic.FormatFunc(cb.Files()[files[0]].Funcs[0])},
 		}},
 		{"empty changeset", nil},
 	}
@@ -176,10 +176,10 @@ func TestChangesetOpsComposeInOrder(t *testing.T) {
 	cb := buildCodebase(t)
 	inc := NewIncremental(cb, store.NewMemory(0))
 	i := pickFile(t, cb, 2)
-	path := cb.Files[i].Name
+	path := cb.Files()[i].Name
 
 	// Replace: rename the last function.
-	f := cb.Files[i]
+	f := cb.Files()[i]
 	j := len(f.Funcs) - 1
 	oldName := f.Funcs[j].Name
 	newName := oldName + "_renamed"
@@ -198,7 +198,7 @@ func TestChangesetOpsComposeInOrder(t *testing.T) {
 	if len(cs.Files) != 1 {
 		t.Fatalf("two ops on one file produced %d file changes, want 1", len(cs.Files))
 	}
-	if got := cb.Files[i].Funcs[j].Name; got != newName {
+	if got := cb.Files()[i].Funcs[j].Name; got != newName {
 		t.Fatalf("final function name = %q, want %q", got, newName)
 	}
 	// Same-name patch against the PRE-replace state must fail, proving
@@ -226,7 +226,7 @@ func TestChangesetEquivalentToSequentialMutations(t *testing.T) {
 	files := pickFiles(t, cbA, 3, 1)
 	var changes []Change
 	for _, i := range files {
-		f := cbA.Files[i]
+		f := cbA.Files()[i]
 		src := minic.FormatFile(f)
 		changes = append(changes, Change{Path: f.Name, Source: src})
 	}

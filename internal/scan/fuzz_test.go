@@ -97,14 +97,56 @@ func FuzzMutationEquivalence(f *testing.F) {
 		inc := NewIncremental(cb, store.NewMemory(0))
 		ck := compileChecker(t)
 
+		// Concurrent snapshot readers: while the mutation sequence runs,
+		// each reader repeatedly pins whatever generation is live and
+		// scans it lock-free. Every result is verified after the join
+		// against a cold parse of that generation's recorded sources — a
+		// reader must see exactly its admission-time corpus, bit for bit,
+		// no matter which commits raced past it.
+		byGen := map[int64]*kernel.Corpus{cb.Generation(): corpusAt(cb)}
+		type pinnedScan struct {
+			gen int64
+			res *Result
+		}
+		var (
+			readers  sync.WaitGroup
+			scansMu  sync.Mutex
+			scans    []pinnedScan
+			stopRead = make(chan struct{})
+		)
+		all := make([]int, len(cb.Files()))
+		for i := range all {
+			all[i] = i
+		}
+		for r := 0; r < 2; r++ {
+			readers.Add(1)
+			go func() {
+				defer readers.Done()
+				for n := 0; n < 3; n++ {
+					snap := cb.Pin()
+					res := inc.RunFilesAt(snap.Snapshot, all, []checker.Checker{ck}, Options{Workers: 1})
+					gen := snap.Generation()
+					snap.Release()
+					scansMu.Lock()
+					scans = append(scans, pinnedScan{gen, res})
+					scansMu.Unlock()
+					select {
+					case <-stopRead:
+						return
+					default:
+					}
+				}
+			}()
+		}
+
 		const maxOps = 6
 		for ops := 0; len(data) >= 3 && ops < maxOps; ops++ {
 			kind, fileSel, variant := data[0]%4, data[1], data[2]
 			data = data[3:]
-			i := int(fileSel) % len(cb.Files)
+			i := int(fileSel) % len(cb.Files())
 			switch kind {
 			case 0: // single-function patch
-				funcs := cb.Files[i].Funcs
+				funcs := cb.Files()[i].Funcs
 				if len(funcs) == 0 {
 					continue
 				}
@@ -113,24 +155,24 @@ func FuzzMutationEquivalence(f *testing.F) {
 				if err != nil {
 					t.Fatal(err)
 				}
-				if _, err := inc.Patch(cb.Files[i].Name, funcs[j].Name, src); err != nil {
+				if _, err := inc.Patch(cb.Files()[i].Name, funcs[j].Name, src); err != nil {
 					t.Fatal(err)
 				}
 			case 1: // whole-file replace
-				if _, err := inc.Replace(cb.Files[i].Name, fuzzReplaceSrc(cb.Files[i], variant)); err != nil {
+				if _, err := inc.Replace(cb.Files()[i].Name, fuzzReplaceSrc(cb.Files()[i], variant)); err != nil {
 					t.Fatal(err)
 				}
 			case 2: // multi-file changeset: replace file i, patch file i2
-				i2 := (i + 1 + int(variant)%3) % len(cb.Files)
-				changes := []Change{{Path: cb.Files[i].Name, Source: fuzzReplaceSrc(cb.Files[i], variant)}}
-				if i2 != i && len(cb.Files[i2].Funcs) > 0 {
-					funcs := cb.Files[i2].Funcs
+				i2 := (i + 1 + int(variant)%3) % len(cb.Files())
+				changes := []Change{{Path: cb.Files()[i].Name, Source: fuzzReplaceSrc(cb.Files()[i], variant)}}
+				if i2 != i && len(cb.Files()[i2].Funcs) > 0 {
+					funcs := cb.Files()[i2].Funcs
 					j := int(variant) % len(funcs)
 					src, err := fuzzTweakFunc(funcs[j], variant+1)
 					if err != nil {
 						t.Fatal(err)
 					}
-					changes = append(changes, Change{Path: cb.Files[i2].Name, Func: funcs[j].Name, Source: src})
+					changes = append(changes, Change{Path: cb.Files()[i2].Name, Func: funcs[j].Name, Source: src})
 				}
 				if _, err := inc.ApplyChangeset(changes); err != nil {
 					t.Fatal(err)
@@ -138,6 +180,38 @@ func FuzzMutationEquivalence(f *testing.F) {
 			case 3: // warm the cache mid-sequence, so later mutations must
 				// really invalidate entries rather than never populate them
 				inc.RunFiles([]int{i}, []checker.Checker{ck}, Options{Workers: 2})
+			}
+			if _, ok := byGen[cb.Generation()]; !ok {
+				byGen[cb.Generation()] = corpusAt(cb)
+			}
+		}
+
+		close(stopRead)
+		readers.Wait()
+
+		// Each pinned reader saw exactly its admission-time generation:
+		// its result is byte-identical to a cold, uncached scan of the
+		// sources recorded when that generation committed.
+		coldByGen := map[int64]string{}
+		for _, ps := range scans {
+			if ps.res.Generation != ps.gen {
+				t.Fatalf("pinned reader at generation %d got result stamped %d", ps.gen, ps.res.Generation)
+			}
+			want, ok := coldByGen[ps.gen]
+			if !ok {
+				src, recorded := byGen[ps.gen]
+				if !recorded {
+					t.Fatalf("reader pinned generation %d, which no mutation recorded", ps.gen)
+				}
+				coldCb, err := NewCodebase(src)
+				if err != nil {
+					t.Fatalf("generation %d does not re-parse: %v", ps.gen, err)
+				}
+				want = resultBytes(t, coldCb.RunOne(ck, Options{Workers: 1}))
+				coldByGen[ps.gen] = want
+			}
+			if got := resultBytes(t, ps.res); got != want {
+				t.Fatalf("pinned reader diverged from cold scan of generation %d:\nreader: %s\ncold:   %s", ps.gen, got, want)
 			}
 		}
 

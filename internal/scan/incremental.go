@@ -39,6 +39,12 @@ type StageObserver interface {
 
 // Scan stage names, as reported to StageObserver and trace timelines.
 const (
+	// StageSnapshotPin is scan admission: pinning the live MVCC snapshot
+	// the whole scan will read. Its duration is the pin itself (a lock-
+	// free pointer load plus registry bookkeeping); its count carries the
+	// pinned generation, so a trace shows at a glance which corpus state
+	// the scan saw.
+	StageSnapshotPin = "snapshot_pin"
 	// StageParse is the serial key-computation prologue: rendering each
 	// function to its canonical source and hashing it with its file
 	// context (memoized across scans, so a warm daemon pays it once).
@@ -101,7 +107,7 @@ func (inc *Incremental) Replace(path, src string) (*Mutation, error) {
 
 // Run scans every file through the cache.
 func (inc *Incremental) Run(checkers []checker.Checker, opts Options) *Result {
-	files := make([]int, len(inc.cb.Files))
+	files := make([]int, inc.cb.NumFiles())
 	for i := range files {
 		files[i] = i
 	}
@@ -129,12 +135,31 @@ type unit struct {
 // order — and therefore the report sequence — depends only on the order
 // of files and the function order within each file, never on worker
 // interleaving or cache state.
+//
+// The scan pins the live snapshot at entry and runs lock-free against
+// it: a concurrent changeset commits the next generation without
+// waiting for this scan or being waited on by it, and the result is
+// byte-identical to a cold scan of the pinned generation.
 func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts Options) *Result {
-	// Hold the codebase read lock for the whole scan: a concurrent Patch
-	// or Replace waits for us to drain and we never observe a half-swapped
-	// file.
-	inc.cb.mu.RLock()
-	defer inc.cb.mu.RUnlock()
+	pinStart := time.Now()
+	snap := inc.cb.Pin()
+	defer snap.Release()
+	return inc.runFiles(snap.Snapshot, pinStart, files, checkers, opts)
+}
+
+// RunFilesAt scans the given file indices against an explicit snapshot
+// — one the caller pinned earlier, typically to hold several scans
+// (a batch, or a reader asserting repeatability) to one generation.
+// The caller owns the pin's lifetime; a nil snapshot pins the live one.
+func (inc *Incremental) RunFilesAt(snap *Snapshot, files []int, checkers []checker.Checker, opts Options) *Result {
+	if snap == nil {
+		return inc.RunFiles(files, checkers, opts)
+	}
+	return inc.runFiles(snap, time.Now(), files, checkers, opts)
+}
+
+// runFiles is the scheduler body, reading only the immutable snap.
+func (inc *Incremental) runFiles(snap *Snapshot, pinStart time.Time, files []int, checkers []checker.Checker, opts Options) *Result {
 	start := time.Now()
 
 	workers := opts.Workers
@@ -159,10 +184,15 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 			inc.stages.ObserveStage(name, d)
 		}
 	}
+	if timed {
+		// The pin span's count is the pinned generation — the one fact a
+		// trace reader wants from admission.
+		stage(StageSnapshotPin, pinStart, start.Sub(pinStart), int(snap.gen))
+	}
 
 	var units []unit
 	for _, i := range files {
-		for j := range inc.cb.Files[i].Funcs {
+		for j := range snap.files[i].Funcs {
 			units = append(units, unit{file: i, fn: j})
 		}
 	}
@@ -173,7 +203,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 		keyStart := time.Now()
 		for u, un := range units {
 			keys[u] = store.Key{
-				FuncHash:  inc.cb.funcHash(un.file, un.fn),
+				FuncHash:  snap.FuncHash(un.file, un.fn),
 				CheckerFP: ckFP,
 				EngineFP:  engFP,
 			}
@@ -214,7 +244,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 				}
 				for u := range ch {
 					un := units[u]
-					f := inc.cb.Files[un.file]
+					f := snap.files[un.file]
 					if opts.canceled() {
 						// The scan was aborted: mark the remaining units
 						// canceled without probing, analyzing, or caching
@@ -291,7 +321,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	// like engine.AnalyzeFile), then files concatenate in the given
 	// order — byte-identical to the uncached Codebase.Run path.
 	mergeStart := time.Now()
-	out := &Result{FilesScanned: len(files)}
+	out := &Result{FilesScanned: len(files), Generation: snap.gen}
 	if cacheable {
 		out.CacheHits = int(hits.Load())
 		out.CacheMisses = int(misses.Load())
@@ -308,7 +338,7 @@ func (inc *Incremental) RunFiles(files []int, checkers []checker.Checker, opts O
 	u := 0
 	for _, i := range files {
 		fileRes := &engine.Result{}
-		for range inc.cb.Files[i].Funcs {
+		for range snap.files[i].Funcs {
 			fileRes.Merge(perFunc[u])
 			out.FuncsScanned++
 			u++

@@ -94,8 +94,8 @@ func TestIncrementalMaxReportsAggregatesFully(t *testing.T) {
 		if res.FuncsScanned != totalFuncs {
 			t.Fatalf("%s: FuncsScanned=%d, want %d", name, res.FuncsScanned, totalFuncs)
 		}
-		if res.FilesScanned != len(cb.Files) {
-			t.Fatalf("%s: FilesScanned=%d, want %d", name, res.FilesScanned, len(cb.Files))
+		if res.FilesScanned != len(cb.Files()) {
+			t.Fatalf("%s: FilesScanned=%d, want %d", name, res.FilesScanned, len(cb.Files()))
 		}
 	}
 }
@@ -163,7 +163,7 @@ func TestIncrementalRunFileWarmsOnlyThatFile(t *testing.T) {
 	inc := NewIncremental(cb, store.NewMemory(0))
 
 	one := inc.RunFile(0, []checker.Checker{ck}, Options{})
-	if one.FilesScanned != 1 || one.FuncsScanned != len(cb.Files[0].Funcs) {
+	if one.FilesScanned != 1 || one.FuncsScanned != len(cb.Files()[0].Funcs) {
 		t.Fatalf("RunFile scanned files=%d funcs=%d", one.FilesScanned, one.FuncsScanned)
 	}
 	again := inc.RunFile(0, []checker.Checker{ck}, Options{})
@@ -171,8 +171,8 @@ func TestIncrementalRunFileWarmsOnlyThatFile(t *testing.T) {
 		t.Fatalf("re-scan of file 0 missed %d times", again.CacheMisses)
 	}
 	full := inc.RunOne(ck, Options{})
-	if full.CacheHits != len(cb.Files[0].Funcs) {
-		t.Fatalf("full scan hit %d entries, want %d (file 0 only)", full.CacheHits, len(cb.Files[0].Funcs))
+	if full.CacheHits != len(cb.Files()[0].Funcs) {
+		t.Fatalf("full scan hit %d entries, want %d (file 0 only)", full.CacheHits, len(cb.Files()[0].Funcs))
 	}
 }
 
@@ -181,10 +181,10 @@ func TestFuncHashSensitivity(t *testing.T) {
 	if cb.FuncHash(0, 0) != cb.FuncHash(0, 0) {
 		t.Fatal("FuncHash not deterministic")
 	}
-	if len(cb.Files[0].Funcs) > 1 && cb.FuncHash(0, 0) == cb.FuncHash(0, 1) {
+	if len(cb.Files()[0].Funcs) > 1 && cb.FuncHash(0, 0) == cb.FuncHash(0, 1) {
 		t.Fatal("distinct functions share a hash")
 	}
-	if cb.FileIndex(cb.Files[0].Name) != 0 {
+	if cb.FileIndex(cb.Files()[0].Name) != 0 {
 		t.Fatal("FileIndex broken")
 	}
 	if cb.FileIndex("no/such/file.c") != -1 {

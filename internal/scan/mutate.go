@@ -30,10 +30,11 @@ type Mutation struct {
 // partially warm: functions whose rendering, position, and file context
 // are unchanged still hit.
 //
-// Replace blocks until in-flight scans drain (they hold the codebase
-// read lock) and blocks new scans until the swap is done. The corpus's
-// ground-truth ledgers (Bugs, Baits) are not rewritten; callers that
-// mutate bug sites own the bookkeeping.
+// Replace never waits for in-flight scans and never blocks new ones:
+// it commits a new snapshot generation, and readers pinned to the old
+// one keep running against it. The corpus's ground-truth ledgers
+// (Bugs, Baits) are not rewritten; callers that mutate bug sites own
+// the bookkeeping.
 //
 // Replace is a one-op changeset: every mutation path shares
 // ApplyChangeset's stage-validate-commit machinery, so the byte-level

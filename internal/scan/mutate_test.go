@@ -14,7 +14,7 @@ import (
 // functions.
 func pickFile(t *testing.T, cb *Codebase, minFuncs int) int {
 	t.Helper()
-	for i, f := range cb.Files {
+	for i, f := range cb.Files() {
 		if len(f.Funcs) >= minFuncs {
 			return i
 		}
@@ -29,7 +29,7 @@ func pickFile(t *testing.T, cb *Codebase, minFuncs int) int {
 func canonicalize(t *testing.T, inc *Incremental, i int) {
 	t.Helper()
 	cb := inc.Codebase()
-	if _, err := inc.Replace(cb.Files[i].Name, minic.FormatFile(cb.Files[i])); err != nil {
+	if _, err := inc.Replace(cb.Files()[i].Name, minic.FormatFile(cb.Files()[i])); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -39,7 +39,7 @@ func canonicalize(t *testing.T, inc *Incremental, i int) {
 // unchanged but whose content hash is not.
 func tweakedFunc(t *testing.T, cb *Codebase, i, j int) string {
 	t.Helper()
-	src := minic.FormatFunc(cb.Files[i].Funcs[j])
+	src := minic.FormatFunc(cb.Files()[i].Funcs[j])
 	brace := strings.Index(src, "{")
 	if brace < 0 {
 		t.Fatalf("no body in rendered function:\n%s", src)
@@ -54,7 +54,7 @@ func TestPatchMissesOnlyThePatchedFunction(t *testing.T) {
 	inc := NewIncremental(cb, st)
 
 	i := pickFile(t, cb, 2)
-	path := cb.Files[i].Name
+	path := cb.Files()[i].Name
 	canonicalize(t, inc, i)
 	inc.RunOne(ck, Options{Workers: 1}) // warm everything
 	total := inc.RunOne(ck, Options{Workers: 1})
@@ -64,8 +64,8 @@ func TestPatchMissesOnlyThePatchedFunction(t *testing.T) {
 
 	// Patch the last function: nothing below it shifts, so exactly one
 	// function's hash changes.
-	j := len(cb.Files[i].Funcs) - 1
-	name := cb.Files[i].Funcs[j].Name
+	j := len(cb.Files()[i].Funcs) - 1
+	name := cb.Files()[i].Funcs[j].Name
 	m, err := inc.Patch(path, name, tweakedFunc(t, cb, i, j))
 	if err != nil {
 		t.Fatal(err)
@@ -110,25 +110,25 @@ func TestPatchConfinesMissesToTheFile(t *testing.T) {
 	inc := NewIncremental(cb, store.NewMemory(0))
 
 	i := pickFile(t, cb, 3)
-	path := cb.Files[i].Name
+	path := cb.Files()[i].Name
 	canonicalize(t, inc, i)
 	inc.RunOne(ck, Options{Workers: 1})
 
 	// Patch the FIRST function with a body that is one line longer:
 	// every sibling below it shifts, so their hashes change too — but
 	// the damage must stay inside this file.
-	name := cb.Files[i].Funcs[0].Name
+	name := cb.Files()[i].Funcs[0].Name
 	m, err := inc.Patch(path, name, tweakedFunc(t, cb, i, 0))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Changed < 1 || m.Changed > len(cb.Files[i].Funcs) {
-		t.Fatalf("changed = %d, want within [1, %d]", m.Changed, len(cb.Files[i].Funcs))
+	if m.Changed < 1 || m.Changed > len(cb.Files()[i].Funcs) {
+		t.Fatalf("changed = %d, want within [1, %d]", m.Changed, len(cb.Files()[i].Funcs))
 	}
 
 	// Every other file re-scans without a single miss.
 	var others []int
-	for fi := range cb.Files {
+	for fi := range cb.Files() {
 		if fi != i {
 			others = append(others, fi)
 		}
@@ -148,14 +148,14 @@ func TestReplaceDeleteFunctionKeepsSiblingsWarm(t *testing.T) {
 	inc := NewIncremental(cb, store.NewMemory(0))
 
 	i := pickFile(t, cb, 3)
-	path := cb.Files[i].Name
+	path := cb.Files()[i].Name
 	canonicalize(t, inc, i)
 	inc.RunOne(ck, Options{Workers: 1})
-	before := len(cb.Files[i].Funcs)
+	before := len(cb.Files()[i].Funcs)
 
 	// Drop the last function: the survivors keep their text, position,
 	// and file context, so the replacement costs zero re-analysis.
-	f := cb.Files[i]
+	f := cb.Files()[i]
 	m, err := inc.Replace(path, minic.FormatFile(&minic.File{
 		Name: f.Name, Structs: f.Structs, Globals: f.Globals, Funcs: f.Funcs[:before-1],
 	}))
@@ -189,8 +189,8 @@ func TestReplaceDeleteFunctionKeepsSiblingsWarm(t *testing.T) {
 func TestMutationRejectsBadInput(t *testing.T) {
 	cb := buildCodebase(t)
 	inc := NewIncremental(cb, store.NewMemory(0))
-	path := cb.Files[0].Name
-	fn := cb.Files[0].Funcs[0]
+	path := cb.Files()[0].Name
+	fn := cb.Files()[0].Funcs[0]
 	good := minic.FormatFunc(fn)
 
 	cases := []struct {
@@ -251,8 +251,8 @@ func TestGenerationAndFuncCountTrackMutations(t *testing.T) {
 	if cb.NumFuncs() != funcs {
 		t.Fatalf("canonicalizing changed the function count: %d -> %d", funcs, cb.NumFuncs())
 	}
-	name := cb.Files[i].Funcs[0].Name
-	if _, err := inc.Patch(cb.Files[i].Name, name, tweakedFunc(t, cb, i, 0)); err != nil {
+	name := cb.Files()[i].Funcs[0].Name
+	if _, err := inc.Patch(cb.Files()[i].Name, name, tweakedFunc(t, cb, i, 0)); err != nil {
 		t.Fatal(err)
 	}
 	if cb.Generation() != 2 {
@@ -268,7 +268,7 @@ func TestFuncTimeoutResultsAreNotCached(t *testing.T) {
 
 	// A 1ns budget times out every function before any analysis.
 	res := inc.RunFile(0, []checker.Checker{ck}, Options{Workers: 1, FuncTimeout: time.Nanosecond})
-	n := len(cb.Files[0].Funcs)
+	n := len(cb.Files()[0].Funcs)
 	if res.FuncsTimedOut != n {
 		t.Fatalf("timed out %d of %d functions", res.FuncsTimedOut, n)
 	}

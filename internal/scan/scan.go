@@ -3,10 +3,17 @@
 // offers two schedulers: Codebase.Run, a file-level fan-out that always
 // analyzes everything, and Incremental, a function-level scheduler that
 // consults a content-addressed result cache and only analyzes misses.
-// The codebase is mutable: Patch and Replace swap in new source for one
-// file, and ApplyChangeset applies a commit-sized multi-file changeset
-// atomically — either way only the touched files re-parse and re-hash,
-// and every other file's cache entries stay warm.
+//
+// The codebase is mutable and multi-version: Patch and Replace swap in
+// new source for one file, and ApplyChangeset applies a commit-sized
+// multi-file changeset atomically — either way only the touched files
+// re-parse and re-hash, and every other file's cache entries stay warm.
+// Mutations are MVCC copy-on-write: each commit builds the next
+// immutable Snapshot off to the side and publishes it with a single
+// pointer swap, so a scan pinned to the previous generation never
+// blocks on a writer and never observes a half-applied changeset.
+// ApplyChangesetAsync reserves a generation token up front and commits
+// in the background, in token order.
 package scan
 
 import (
@@ -21,122 +28,96 @@ import (
 	"knighter/internal/engine"
 	"knighter/internal/kernel"
 	"knighter/internal/minic"
-	"knighter/internal/store"
 )
 
 // Codebase is a parsed corpus, reusable across many checker runs and
-// mutable between them (Patch, Replace, ApplyChangeset).
+// mutable between them (Patch, Replace, ApplyChangeset,
+// ApplyChangesetAsync). The live parse state lives in an immutable
+// Snapshot behind an atomic pointer: readers pin it and run lock-free;
+// writers serialize on a short mutation lock, build the successor
+// snapshot, and commit by swapping the pointer.
 type Codebase struct {
-	// mu guards Files, Corpus file sources, and the generation counter.
-	// Scans hold the read lock for their whole run; mutations take the
-	// write lock, so a patch waits for in-flight scans and blocks new
-	// ones until the swap is done.
-	mu     sync.RWMutex
 	Corpus *kernel.Corpus
-	Files  []*minic.File
-	// generation counts applied mutations (0 = as parsed); numFuncs
-	// mirrors the total function count. Both atomic so liveness and
-	// stats probes can read them without queueing behind a pending
-	// mutation's write lock.
+
+	// snap is the live (committed) snapshot. generation and numFuncs
+	// mirror it atomically so liveness and stats probes never touch a
+	// lock, even mid-commit.
+	snap       atomic.Pointer[Snapshot]
 	generation atomic.Int64
 	numFuncs   atomic.Int64
 
-	// Content hashes for the incremental scheduler, computed lazily and
-	// memoized: a function's analysis depends on its own source, its
-	// position (reports carry absolute line/col), and the file-level
-	// declarations it can see, so the hash covers all three.
-	hashMu     sync.Mutex
-	ctxHashes  []string
-	funcHashes map[[2]int]string
+	// Writer coordination. wmu serializes stage+commit; nextGen is the
+	// highest generation handed out (committed or reserved by an async
+	// changeset). Sync writers wait on wcond until every reserved ticket
+	// ahead of them has committed; async commits wait until the ticket
+	// just below theirs is live, so generations publish in token order.
+	wmu     sync.Mutex
+	wcond   *sync.Cond
+	nextGen int64
+
+	// Pin registry: generation -> active pin count, for the
+	// pinned_snapshots stat. Snapshots stay valid after unpinning (GC
+	// owns their lifetime); the registry is observability, not safety.
+	pinMu sync.Mutex
+	pins  map[int64]int
+
+	// watch is closed and replaced on every commit, waking
+	// WaitForGeneration callers.
+	watchMu sync.Mutex
+	watch   chan struct{}
 }
 
-// NewCodebase parses every corpus file once.
+// NewCodebase parses every corpus file once into generation 0.
 func NewCodebase(c *kernel.Corpus) (*Codebase, error) {
-	cb := &Codebase{Corpus: c}
+	var files []*minic.File
 	for _, f := range c.Files {
 		pf, err := minic.ParseFile(f.Path, f.Src)
 		if err != nil {
 			return nil, fmt.Errorf("scan: parse %s: %w", f.Path, err)
 		}
-		cb.Files = append(cb.Files, pf)
-		cb.numFuncs.Add(int64(len(pf.Funcs)))
+		files = append(files, pf)
 	}
+	cb := &Codebase{Corpus: c, pins: map[int64]int{}, watch: make(chan struct{})}
+	cb.wcond = sync.NewCond(&cb.wmu)
+	s := newSnapshot(0, files)
+	cb.snap.Store(s)
+	cb.numFuncs.Store(int64(s.numFuncs))
 	return cb, nil
 }
 
-// FuncHash returns the content address of function j of file i: a hash
-// of the canonical rendering of the function, its source position, and
-// the file context (file name, structs, globals) its analysis can
-// observe.
+// Files returns the live snapshot's parsed files. The slice and its
+// contents are immutable; a concurrent changeset publishes a NEW slice
+// rather than mutating this one, so the returned value is a consistent
+// point-in-time view. Callers that index repeatedly and need one
+// generation throughout should Pin instead.
+func (cb *Codebase) Files() []*minic.File {
+	return cb.snap.Load().files
+}
+
+// NumFiles returns the corpus file count (fixed for the codebase's
+// lifetime: changesets replace file contents, never add or remove
+// files).
+func (cb *Codebase) NumFiles() int {
+	return len(cb.snap.Load().files)
+}
+
+// FuncHash returns the content address of function j of file i in the
+// live snapshot (see Snapshot.FuncHash).
 func (cb *Codebase) FuncHash(i, j int) string {
-	cb.mu.RLock()
-	defer cb.mu.RUnlock()
-	return cb.funcHash(i, j)
-}
-
-// funcHash is FuncHash with cb.mu already held (read or write).
-func (cb *Codebase) funcHash(i, j int) string {
-	cb.hashMu.Lock()
-	defer cb.hashMu.Unlock()
-	if cb.funcHashes == nil {
-		cb.funcHashes = map[[2]int]string{}
-	}
-	k := [2]int{i, j}
-	if h, ok := cb.funcHashes[k]; ok {
-		return h
-	}
-	if cb.ctxHashes == nil {
-		cb.ctxHashes = make([]string, len(cb.Files))
-	}
-	f := cb.Files[i]
-	if cb.ctxHashes[i] == "" {
-		ctx := minic.FormatFile(&minic.File{Name: f.Name, Structs: f.Structs, Globals: f.Globals})
-		cb.ctxHashes[i] = store.Hash("filectx:v1", f.Name, ctx)
-	}
-	fn := f.Funcs[j]
-	// v2: the declaration position is part of the function's identity —
-	// cached reports carry absolute line/col, so a function whose text
-	// is unchanged but which moved within its file must re-analyze.
-	h := store.Hash("func:v2", cb.ctxHashes[i],
-		fmt.Sprintf("%d:%d", fn.Pos.Line, fn.Pos.Col), minic.FormatFunc(fn))
-	cb.funcHashes[k] = h
-	return h
-}
-
-// invalidateFileHashes drops the memoized hashes of file i (after a
-// mutation swapped its AST). Caller holds cb.mu for writing.
-func (cb *Codebase) invalidateFileHashes(i int) {
-	cb.hashMu.Lock()
-	defer cb.hashMu.Unlock()
-	if cb.ctxHashes != nil {
-		cb.ctxHashes[i] = ""
-	}
-	for k := range cb.funcHashes {
-		if k[0] == i {
-			delete(cb.funcHashes, k)
-		}
-	}
+	return cb.snap.Load().FuncHash(i, j)
 }
 
 // FileIndex returns the index of the parsed file with the given path,
 // or -1.
 func (cb *Codebase) FileIndex(path string) int {
-	cb.mu.RLock()
-	defer cb.mu.RUnlock()
-	return cb.fileIndex(path)
+	return cb.snap.Load().FileIndex(path)
 }
 
-func (cb *Codebase) fileIndex(path string) int {
-	for i, f := range cb.Files {
-		if f.Name == path {
-			return i
-		}
-	}
-	return -1
-}
-
-// Generation returns the number of mutations applied to the codebase
-// since it was parsed. It never blocks, even behind a pending mutation.
+// Generation returns the committed generation: the number of mutations
+// applied to the codebase since it was parsed (0 = as parsed; failed
+// async changesets burn their reserved token with an empty commit, so
+// the counter also advances past them). It never blocks, even
+// mid-commit.
 func (cb *Codebase) Generation() int64 {
 	return cb.generation.Load()
 }
@@ -211,24 +192,36 @@ type Result struct {
 	// computation of the same key instead of analyzing here (stores
 	// wrapped in store.NewCoalesced only). Always <= CacheMisses.
 	CacheCoalesced int
+	// Generation is the snapshot generation the scan was pinned to at
+	// admission: every report in this result was computed against
+	// exactly that corpus state.
+	Generation int64
 	// Elapsed is this scan's own wall time — for RunBatch entries, the
 	// individual checker's cost, not the whole batch's.
 	Elapsed time.Duration
 }
 
-// Run scans the whole codebase with the given checkers. Results are
-// deterministic regardless of parallelism: per-file results are merged
-// in file order.
+// Run scans the whole codebase with the given checkers. The scan pins
+// the live snapshot at entry and runs lock-free: a changeset landing
+// mid-scan commits the next generation without disturbing this one.
+// Results are deterministic regardless of parallelism: per-file
+// results are merged in file order.
 func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
-	cb.mu.RLock()
-	defer cb.mu.RUnlock()
+	snap := cb.Pin()
+	defer snap.Release()
+	return snap.runFileLevel(checkers, opts)
+}
+
+// runFileLevel is the uncached file-level fan-out over one immutable
+// snapshot.
+func (s *Snapshot) runFileLevel(checkers []checker.Checker, opts Options) *Result {
 	start := time.Now()
 	workers := opts.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	eo := opts.engineOptions(checkers)
-	perFile := make([]*engine.Result, len(cb.Files))
+	perFile := make([]*engine.Result, len(s.files))
 	var wg sync.WaitGroup
 	idx := make(chan int)
 	for w := 0; w < workers; w++ {
@@ -236,19 +229,19 @@ func (cb *Codebase) Run(checkers []checker.Checker, opts Options) *Result {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				perFile[i] = engine.AnalyzeFile(cb.Files[i], eo)
+				perFile[i] = engine.AnalyzeFile(s.files[i], eo)
 			}
 		}()
 	}
-	for i := range cb.Files {
+	for i := range s.files {
 		idx <- i
 	}
 	close(idx)
 	wg.Wait()
 
-	out := &Result{FilesScanned: len(cb.Files)}
+	out := &Result{FilesScanned: len(s.files), Generation: s.gen}
 	for i, r := range perFile {
-		out.FuncsScanned += len(cb.Files[i].Funcs)
+		out.FuncsScanned += len(s.files[i].Funcs)
 		out.RuntimeErrs = append(out.RuntimeErrs, r.RuntimeErrs...)
 		for _, rep := range r.Reports {
 			if opts.MaxReports > 0 && len(out.Reports) >= opts.MaxReports {
