@@ -518,6 +518,59 @@ func BenchmarkScanWarmRemote(b *testing.B) {
 	b.ReportMetric(float64(res.CacheHits), "remote-hits")
 }
 
+// benchDiskEntries fills a disk tier with a fleet-realistic working set
+// for the Get benchmarks and returns the keys.
+func benchDiskEntries(b *testing.B, d store.Store) []store.Key {
+	b.Helper()
+	keys := make([]store.Key, 512)
+	res := &engine.Result{Paths: 3, Steps: 40}
+	for i := range keys {
+		keys[i] = store.Key{
+			FuncHash:  store.Hash("bench-fn", string(rune(i%64))),
+			CheckerFP: store.Hash("bench-ck", string(rune(i/64))),
+			EngineFP:  "eng",
+		}
+		d.Put(context.Background(), keys[i], res)
+	}
+	return keys
+}
+
+// BenchmarkDiskGetSegment measures a warm Get on the segment-packed
+// disk store: one in-memory index probe plus one pread on an
+// already-open segment file. Its baseline is
+// BenchmarkDiskGetFilePerEntry — the layout it replaced, which pays an
+// open/read/close round per Get. The ISSUE 8 acceptance bar is >= 5x.
+func BenchmarkDiskGetSegment(b *testing.B) {
+	d, err := store.NewSegmentDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer d.Close()
+	keys := benchDiskEntries(b, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Get(context.Background(), keys[i%len(keys)]); !ok {
+			b.Fatal("warm get missed")
+		}
+	}
+}
+
+// BenchmarkDiskGetFilePerEntry is the file-per-entry baseline for
+// BenchmarkDiskGetSegment.
+func BenchmarkDiskGetFilePerEntry(b *testing.B) {
+	d, err := store.NewDisk(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	keys := benchDiskEntries(b, d)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := d.Get(context.Background(), keys[i%len(keys)]); !ok {
+			b.Fatal("warm get missed")
+		}
+	}
+}
+
 // BenchmarkSmatchBaseline measures the baseline analyzer's full-corpus
 // run.
 func BenchmarkSmatchBaseline(b *testing.B) {

@@ -6,13 +6,17 @@
 // replica's first scan of a corpus its sibling already analyzed is then
 // answered from here instead of recomputed.
 //
-// The daemon is deliberately nothing more than the existing store.Disk
-// tier behind the store.CacheServer protocol: entries are one JSON file
-// each, sharded by function hash, and survive restarts. Consistency
-// needs no coordination — keys are content addresses, so an entry can
-// only ever be correct for the inputs that produced it; invalidation
-// (POST /invalidate, issued by replicas applying changesets) is garbage
-// collection of unreachable keys, not a correctness mechanism.
+// The daemon is a memory front tier over the segment-packed disk store
+// (internal/store/segment) behind the store.CacheServer protocol: a
+// fleet GET that misses memory is one index probe plus one pread into
+// an append-only segment file, entries survive restarts (recovery is a
+// single sequential segment scan), and a directory written by an older
+// file-per-entry build is migrated into segments on first open.
+// Consistency needs no coordination — keys are content addresses, so an
+// entry can only ever be correct for the inputs that produced it;
+// invalidation (POST /invalidate, issued by replicas applying
+// changesets) is garbage collection of unreachable keys, not a
+// correctness mechanism.
 //
 // Usage:
 //
@@ -55,7 +59,8 @@ func main() {
 	addr := flag.String("addr", ":8322", "listen address")
 	cacheDir := flag.String("cache-dir", "", "cache directory (required)")
 	cacheTTL := flag.Duration("cache-ttl", 0, "drop entries older than this (0 = keep forever)")
-	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "byte budget; GC evicts oldest-first past it (0 = unbounded)")
+	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk byte budget; compaction evicts oldest-first past it (0 = unbounded)")
+	cacheBytes := flag.Int64("cache-bytes", store.DefaultMemoryBytes, "memory front-tier byte budget (0 = library default)")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6061); never exposed on the main port")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -69,33 +74,45 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kcached: -cache-dir is required")
 		os.Exit(2)
 	}
-	var opts []store.DiskOption
+	// The signal context exists before the compaction loop starts, so
+	// SIGINT/SIGTERM stops background sweeps as part of the drain.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	var opts []store.SegmentDiskOption
 	if *cacheMaxBytes > 0 {
-		opts = append(opts, store.DiskMaxBytes(*cacheMaxBytes))
+		opts = append(opts, store.SegmentDiskMaxBytes(*cacheMaxBytes))
 	}
-	disk, err := store.NewDisk(*cacheDir, opts...)
+	disk, err := store.NewSegmentDisk(*cacheDir, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "kcached:", err)
 		os.Exit(1)
 	}
-	// The daemon's store is the instrumented disk tier: kcached's
-	// /metrics carries the same store_* families as kserve's, under the
-	// kcached namespace with tier="disk".
+	if n := disk.Migrated(); n > 0 {
+		log.Printf("kcached: migrated %d file-per-entry records into segments", n)
+	}
+	// The daemon's store is a memory front tier over the segment disk
+	// store: a hot fleet GET never touches the segment log at all, a
+	// warm one is an index probe plus one pread. Both tiers are
+	// instrumented individually, so kcached's /metrics carries the same
+	// store_* families as kserve's, under the kcached namespace with
+	// tier="memory" and tier="disk".
 	reg := obs.NewRegistry("kcached")
 	gcSweep := reg.Histogram("gc_sweep_duration_seconds",
 		"Wall time of one GC sweep over the backing store.", nil)
-	cs := store.NewCacheServer(store.Instrument(reg, "disk", disk))
+	tier := store.NewTiered(
+		store.Instrument(reg, "memory", store.NewMemory(*cacheBytes)).SampleLatency(4),
+		store.Instrument(reg, "disk", disk))
+	cs := store.NewCacheServer(tier)
 	cs.Register(reg)
-	if *cacheTTL > 0 || *cacheMaxBytes > 0 {
-		disk.StartGCLoop(*cacheTTL, func(n int, dur time.Duration, err error) {
-			gcSweep.Observe(dur.Seconds())
-			if err != nil {
-				log.Printf("kcached: GC: %v", err)
-			} else if n > 0 {
-				log.Printf("kcached: GC removed %d entries in %s", n, dur)
-			}
-		})
-	}
+	// Compaction always runs: even without a TTL or byte budget it
+	// reclaims the dead bytes that overwrites and invalidations leave in
+	// the segment log. It stops with the signal context.
+	disk.StartCompactLoop(ctx, *cacheTTL, func(n int, dur time.Duration) {
+		gcSweep.Observe(dur.Seconds())
+		if n > 0 {
+			log.Printf("kcached: GC removed %d entries in %s", n, dur)
+		}
+	})
 	if *pprofAddr != "" {
 		startPprof(*pprofAddr)
 	}
@@ -104,8 +121,6 @@ func main() {
 	// entry requests drain (bounded), and the final store shape goes to
 	// the log — a fleet roll never truncates a PUT mid-body.
 	hs := &http.Server{Addr: *addr, Handler: store.AccessLog(log.Default(), cs.Handler())}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	st := disk.Stats()
@@ -124,6 +139,11 @@ func main() {
 			log.Printf("kcached: shutdown: %v", err)
 		}
 		st := disk.Stats()
+		// Final sync: the flush window's tail is on disk before exit, so
+		// the next boot recovers everything this one served.
+		if err := disk.Close(); err != nil {
+			log.Printf("kcached: disk close: %v", err)
+		}
 		log.Printf("kcached: final stats: entries=%d bytes=%d hits=%d misses=%d hit_rate=%.3f",
 			st.Entries, st.Bytes, st.Hits, st.Misses, st.HitRate())
 	}

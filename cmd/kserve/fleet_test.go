@@ -18,15 +18,25 @@ import (
 	"knighter/internal/store"
 )
 
-// newKcached boots an in-process kcached over a disk tier: the exact
-// handler cmd/kcached serves, minus the flag parsing.
-func newKcached(t *testing.T) (*store.Disk, *httptest.Server) {
+// newKcached boots an in-process kcached with the store composition
+// cmd/kcached wires — memory front tier over the segment disk store —
+// minus the flag parsing.
+func newKcached(t *testing.T) (*store.SegmentDisk, *httptest.Server) {
 	t.Helper()
-	disk, err := store.NewDisk(t.TempDir())
+	return newKcachedDir(t, t.TempDir())
+}
+
+// newKcachedDir is newKcached over an explicit cache directory, so a
+// test can stop the daemon and boot a successor on the same segments.
+func newKcachedDir(t *testing.T, dir string) (*store.SegmentDisk, *httptest.Server) {
+	t.Helper()
+	disk, err := store.NewSegmentDisk(dir)
 	if err != nil {
 		t.Fatal(err)
 	}
-	kc := httptest.NewServer(store.NewCacheServer(disk).Handler())
+	t.Cleanup(func() { disk.Close() })
+	tier := store.NewTiered(store.NewMemory(0), disk)
+	kc := httptest.NewServer(store.NewCacheServer(tier).Handler())
 	t.Cleanup(kc.Close)
 	return disk, kc
 }
@@ -160,6 +170,56 @@ func TestFleetKcachedDeathDegradesToLocal(t *testing.T) {
 	a3 := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
 	if a3.Cache.Misses != 0 {
 		t.Fatalf("replica A's warm scan missed %d times after daemon death", a3.Cache.Misses)
+	}
+}
+
+// TestFleetKcachedRestartRecoversWarm: stop the cache daemon, boot a
+// successor over the same cache directory, and a FRESH replica's first
+// scan must still be >= 90% warm — the segment store's recovery scan
+// rebuilt the index from the log, so the fleet's accumulated work
+// survives a daemon roll.
+func TestFleetKcachedRestartRecoversWarm(t *testing.T) {
+	dir := t.TempDir()
+	disk1, kc1 := newKcachedDir(t, dir)
+
+	srvA, tsA := newFleetReplica(t, kc1.URL, store.RemoteConfig{})
+	a := postScan(t, tsA, api.ScanRequest{Checker: testChecker})
+	if rs := srvA.remote.RemoteStats(); rs.Puts == 0 {
+		t.Fatalf("replica A published nothing: %+v", rs)
+	}
+	entriesBefore := disk1.Stats().Entries
+	if entriesBefore == 0 {
+		t.Fatal("kcached disk tier empty after replica A's scan")
+	}
+
+	// The daemon dies (graceful: the real daemon syncs on SIGTERM; the
+	// crash path — torn tail, unsynced window — is the segment engine's
+	// own test territory).
+	kc1.Close()
+	if err := disk1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A successor boots on the same directory: recovery is one
+	// sequential segment scan, and every entry must come back.
+	disk2, kc2 := newKcachedDir(t, dir)
+	if got := disk2.Stats().Entries; got != entriesBefore {
+		t.Fatalf("restart recovered %d entries, want %d", got, entriesBefore)
+	}
+
+	// A replica that never scanned before (cold memory, no local disk)
+	// must scan warm off the recovered tier, byte-identical to A.
+	srvC, tsC := newFleetReplica(t, kc2.URL, store.RemoteConfig{})
+	c := postScan(t, tsC, api.ScanRequest{Checker: testChecker})
+	if c.Cache.HitRate < 0.9 {
+		t.Fatalf("post-restart scan hit rate = %.2f, want >= 0.9 (hits=%d misses=%d)",
+			c.Cache.HitRate, c.Cache.Hits, c.Cache.Misses)
+	}
+	if rs := srvC.remote.RemoteStats(); rs.Hits == 0 || rs.Errors != 0 {
+		t.Fatalf("replica C remote stats = %+v, want hits > 0 and no errors", rs)
+	}
+	if got, want := reportsJSON(t, c), reportsJSON(t, a); got != want {
+		t.Fatalf("post-restart warm scan differs from the pre-restart cold scan:\nA: %s\nC: %s", want, got)
 	}
 }
 

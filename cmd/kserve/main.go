@@ -111,49 +111,65 @@ func main() {
 		fmt.Fprintln(os.Stderr, "kserve:", err)
 		os.Exit(1)
 	}
-	// Tier composition: memory in front, then the shared remote tier,
-	// then the local disk tier — so a local miss is answered by the
-	// fleet before falling back to this replica's own disk, and every
-	// local computation is published for the siblings. The whole stack
-	// is wrapped in singleflight coalescing: identical concurrent misses
-	// (whose window the remote round-trip widens) compute once. Every
-	// tier is individually instrumented into the shared registry, so
-	// /metrics breaks hits, misses, and latency down by WHERE.
+	// The signal context exists before any background loop starts so the
+	// disk compaction loop (and anything else long-running) stops on the
+	// same SIGINT/SIGTERM that begins the drain — no sweep races the
+	// final stats log.
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	// Tier composition: memory in front, then the shared remote tier and
+	// the local disk tier — hedged against each other when both exist:
+	// a memory miss probes kcached and the local segment store
+	// concurrently and the first hit wins, so the network round-trip
+	// bounds p99 instead of adding to it, and every local computation is
+	// still published for the siblings. The whole stack is wrapped in
+	// singleflight coalescing: identical concurrent misses (whose window
+	// the remote round-trip widens) compute once. Every tier is
+	// individually instrumented into the shared registry, so /metrics
+	// breaks hits, misses, and latency down by WHERE.
 	reg := obs.NewRegistry("kserve")
-	var disk *store.Disk
+	var disk *store.SegmentDisk
 	var remote *store.Remote
-	var back []store.Store
+	var backRemote, backDisk store.Store
 	if *cacheRemote != "" {
 		remote, err = store.NewRemote(*cacheRemote, store.RemoteConfig{Timeout: *cacheRemoteTimeout})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
 		}
-		back = append(back, store.Instrument(reg, "remote", asyncInvalidate{remote}))
+		backRemote = store.Instrument(reg, "remote", asyncInvalidate{remote})
 	}
 	if *cacheDir != "" {
-		var opts []store.DiskOption
+		var opts []store.SegmentDiskOption
 		if *cacheMaxBytes > 0 {
-			opts = append(opts, store.DiskMaxBytes(*cacheMaxBytes))
+			opts = append(opts, store.SegmentDiskMaxBytes(*cacheMaxBytes))
 		}
-		disk, err = store.NewDisk(*cacheDir, opts...)
+		disk, err = store.NewSegmentDisk(*cacheDir, opts...)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "kserve:", err)
 			os.Exit(1)
 		}
-		back = append(back, store.Instrument(reg, "disk", disk))
+		if n := disk.Migrated(); n > 0 {
+			log.Printf("kserve: disk cache: migrated %d file-per-entry records into segments", n)
+		}
+		backDisk = store.Instrument(reg, "disk", disk)
 	} else if *cacheMaxBytes > 0 {
 		log.Printf("kserve: -cache-max-bytes ignored without -cache-dir (the byte budget bounds the disk tier; use -cache-bytes for the memory tier)")
 	}
 	// The local tiers sample latency 1-in-16: a memory hit costs about
 	// as much as reading the clock, so full timing there would be the
 	// observability layer taxing the very path it exists to protect.
+	var hedged *store.Hedged
 	var st store.Store = store.Instrument(reg, "memory", store.NewMemory(*cacheBytes)).SampleLatency(4)
-	switch len(back) {
-	case 1:
-		st = store.NewTiered(st, back[0])
-	case 2:
-		st = store.NewTiered(st, store.NewTiered(back[0], back[1]))
+	switch {
+	case backRemote != nil && backDisk != nil:
+		hedged = store.NewHedged(backRemote, backDisk)
+		st = store.NewTiered(st, store.Instrument(reg, "hedged", hedged))
+	case backRemote != nil:
+		st = store.NewTiered(st, backRemote)
+	case backDisk != nil:
+		st = store.NewTiered(st, backDisk)
 	}
 	st = store.Instrument(reg, "coalesced", store.NewCoalesced(st)).SampleLatency(4)
 	srv := newServer(scan.NewIncremental(cb, st))
@@ -165,11 +181,14 @@ func main() {
 		newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient),
 		newAdmission(*maxInflightWrites, *maxQueuedWrites, *maxQueuedPerClient))
 	srv.registerMetrics(reg)
-	if disk != nil && (*cacheTTL > 0 || *cacheMaxBytes > 0) {
-		srv.startDiskGC(disk, *cacheTTL)
+	if disk != nil {
+		// Compaction runs whenever the disk tier exists: even without a
+		// TTL or byte budget it reclaims the dead bytes that overwrites
+		// and invalidations leave in the segment log.
+		srv.startDiskGC(ctx, disk, *cacheTTL)
 	}
 	if remote != nil {
-		log.Printf("kserve: fleet cache tier: %s", *cacheRemote)
+		log.Printf("kserve: fleet cache tier: %s (hedged against local disk: %v)", *cacheRemote, hedged != nil)
 	}
 	if srv.adm != nil {
 		log.Printf("kserve: read admission control: %d inflight, %d queued", *maxInflight, *maxQueued)
@@ -186,8 +205,6 @@ func main() {
 	// so a fleet roll never truncates a scan mid-response and the last
 	// cache numbers survive in the log.
 	hs := &http.Server{Addr: *addr, Handler: srv.routes()}
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	version, goVersion := obs.BuildVersion()
@@ -203,6 +220,14 @@ func main() {
 		defer cancel()
 		if err := hs.Shutdown(sctx); err != nil {
 			log.Printf("kserve: shutdown: %v", err)
+		}
+		if disk != nil {
+			// Final sync: whatever the flush window still held is on disk
+			// before the process exits, so the next boot starts as warm as
+			// this one ended.
+			if err := disk.Close(); err != nil {
+				log.Printf("kserve: disk close: %v", err)
+			}
 		}
 		stats := srv.inc.Stats()
 		log.Printf("kserve: final stats: uptime=%.1fs scans=%d batches=%d reports=%d cache_hits=%d cache_misses=%d hit_rate=%.3f",
@@ -317,14 +342,14 @@ func (a asyncInvalidate) InvalidateFuncs(funcHashes []string) int {
 	return 0
 }
 
-// startDiskGC runs the store's GC loop over the disk tier, hooking the
-// server's counter and log line into each sweep.
-func (s *server) startDiskGC(disk *store.Disk, ttl time.Duration) {
-	disk.StartGCLoop(ttl, func(n int, dur time.Duration, err error) {
+// startDiskGC runs the segment store's compaction loop over the disk
+// tier until ctx is done, hooking the server's counter and log line
+// into each sweep. The context is the daemon's signal context: shutdown
+// stops the loop instead of leaving a sweep racing the drain.
+func (s *server) startDiskGC(ctx context.Context, disk *store.SegmentDisk, ttl time.Duration) {
+	disk.StartCompactLoop(ctx, ttl, func(n int, dur time.Duration) {
 		s.observeGCSweep(dur)
-		if err != nil {
-			log.Printf("kserve: disk GC: %v", err)
-		} else if n > 0 {
+		if n > 0 {
 			s.gcRemoved.Add(int64(n))
 			log.Printf("kserve: disk GC removed %d entries in %s", n, dur)
 		}

@@ -1,0 +1,110 @@
+package store
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"knighter/internal/checker"
+	"knighter/internal/engine"
+	"knighter/internal/minic"
+)
+
+func TestResultCodecRoundTrip(t *testing.T) {
+	cases := map[string]*engine.Result{
+		"empty": {},
+		"flags-and-counters": {
+			Paths: 1 << 20, Steps: 987654321,
+			Truncated: true, TimedOut: true, Canceled: true,
+		},
+		"typical": result("use after free of 'p'"),
+		"full": {
+			Reports: []*checker.Report{
+				{
+					Checker: "knighter.uaf", BugType: "UseAfterFree",
+					Message: "use of 'buf' after kfree",
+					File:    "drivers/net/x.c", Func: "x_probe",
+					Pos:      minic.Pos{File: "drivers/net/x.c", Line: 120, Col: 9},
+					RegionAt: "x_probe:118",
+					Trace: []checker.TraceStep{
+						{Pos: minic.Pos{File: "drivers/net/x.c", Line: 117, Col: 3}, Note: "kfree(buf)"},
+						{Pos: minic.Pos{File: "drivers/net/x.c", Line: 120, Col: 9}, Note: "use of freed 'buf'"},
+					},
+				},
+				{
+					// Zero-ish report: empty strings and no trace must survive.
+					Checker: "", BugType: "", Message: "",
+				},
+			},
+			Paths: 3, Steps: 41, Truncated: true,
+			RuntimeErrs: []engine.RuntimeErr{
+				{Func: "f1", Checker: "knighter.np", Panic: "index out of range"},
+				{Func: "", Checker: "", Panic: ""},
+			},
+		},
+		"unicode": {
+			Reports: []*checker.Report{{Message: "déréférencement de NULL — 例"}},
+		},
+	}
+	for name, want := range cases {
+		t.Run(name, func(t *testing.T) {
+			buf := encodeResult(want)
+			if len(buf) == 0 || buf[0] != resultCodecV1 {
+				t.Fatalf("bad format tag: %v", buf[:1])
+			}
+			got, err := decodeResult(buf)
+			if err != nil {
+				t.Fatalf("decode: %v", err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+			}
+		})
+	}
+}
+
+// Truncations and bit flips must fail decode, not panic or fabricate a
+// result — a corrupt payload degrades to a cache miss.
+func TestResultCodecRejectsCorruptPayloads(t *testing.T) {
+	buf := encodeResult(result("msg"))
+	for cut := 1; cut < len(buf); cut += 3 {
+		if _, err := decodeResult(buf[:cut]); err == nil {
+			// A prefix can still parse if the cut lands exactly after a
+			// complete value but before a count... it cannot here, because
+			// the encoding ends with RuntimeErrs whose count is mandatory.
+			t.Fatalf("decode of %d-byte truncation succeeded", cut)
+		}
+	}
+	// A huge length prefix must not cause a giant allocation or a panic.
+	evil := append([]byte{resultCodecV1}, 0xff, 0xff, 0xff, 0xff, 0x0f)
+	if _, err := decodeResult(evil); err == nil {
+		t.Fatal("decode of absurd length prefix succeeded")
+	}
+}
+
+// The disk tier must still read payloads written before the binary
+// codec existed (the file-per-entry migration path stores raw JSON).
+func TestSegmentDiskReadsLegacyJSONPayloads(t *testing.T) {
+	d := newTestSegDisk(t, t.TempDir())
+	defer d.Close()
+
+	k := fkey("fLegacy", "ck")
+	want := result("legacy json payload")
+	data, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data[0] == resultCodecV1 {
+		t.Fatal("test premise broken: JSON payload starts with the codec tag")
+	}
+	if err := d.eng.Put(k.ID(), segFuncTok(k.FuncHash), data); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := d.Get(bg, k)
+	if !ok {
+		t.Fatal("legacy JSON payload unreadable")
+	}
+	if !sameResult(t, got, want) {
+		t.Fatalf("legacy decode mismatch: %+v", got)
+	}
+}

@@ -36,6 +36,11 @@ type Disk struct {
 	stats   Stats
 }
 
+// minGCInterval floors the GC sweep cadence. It is a variable only so
+// tests can lower it to observe the loop's stop behavior without
+// waiting a real minute.
+var minGCInterval = time.Minute
+
 // DiskOption configures NewDisk.
 type DiskOption func(*Disk)
 
@@ -57,6 +62,13 @@ func DiskMaxBytes(n int64) DiskOption {
 // otherwise they would sit as permanent garbage that even GC never
 // visits. Pre-existing sharded entries are walked once to seed the
 // entry/byte counters.
+//
+// Deprecated: the file-per-entry layout pays one file open per Get and
+// its delta-maintained counters are racy by construction; use
+// NewSegmentDisk, which opens the same directory, migrates any
+// file-per-entry entries into the segment log on first open, and keeps
+// exact books. NewDisk remains for tests and for tools that need the
+// old layout on disk.
 func NewDisk(dir string, opts ...DiskOption) (*Disk, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, err
@@ -177,10 +189,15 @@ func (d *Disk) InvalidateFunc(funcHash string) int {
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	names, _ := filepath.Glob(filepath.Join(fdir, "*.json"))
-	n := len(names)
+	// Count only stat-confirmed files: a GC sweep (which runs without the
+	// lock) may have removed some of the globbed names already and will
+	// account for them itself — counting them here too double-decrements
+	// the counters, which is exactly the drift this used to have.
+	n := 0
 	removedBytes := int64(0)
 	for _, p := range names {
 		if info, err := os.Stat(p); err == nil {
+			n++
 			removedBytes += info.Size()
 		}
 	}
@@ -191,6 +208,14 @@ func (d *Disk) InvalidateFunc(funcHash string) int {
 		d.stats.Invalidated += int64(n)
 		d.entries -= n
 		d.bytes -= removedBytes
+		// Clamp: even if a racing sweep slipped between the stat pass and
+		// the removal, the books must never report a negative tier.
+		if d.entries < 0 {
+			d.entries = 0
+		}
+		if d.bytes < 0 {
+			d.bytes = 0
+		}
 	}
 	return n
 }
@@ -305,36 +330,58 @@ func (d *Disk) GC(maxAge time.Duration) (int, error) {
 		d.stats.Evictions += int64(evicted)
 		d.entries -= expired + evicted
 		d.bytes -= expiredBytes + evictedBytes
+		// Same clamp as InvalidateFunc: an invalidation racing the
+		// lock-free sweep phase may have accounted some of these files
+		// already; the books must never go negative.
+		if d.entries < 0 {
+			d.entries = 0
+		}
+		if d.bytes < 0 {
+			d.bytes = 0
+		}
 		d.mu.Unlock()
 	}
 	return expired + evicted, nil
 }
 
-// StartGCLoop sweeps the tier forever in a background goroutine,
-// dropping entries older than ttl and enforcing the byte budget (if
-// any). Sweeps run every ttl/4 clamped to [1m, 15m]; a pure byte budget
-// with no TTL sweeps every minute. onSweep, when non-nil, observes each
-// sweep's outcome and duration — both daemons hook their logging,
-// counters, and sweep-duration histograms there.
-func (d *Disk) StartGCLoop(ttl time.Duration, onSweep func(removed int, dur time.Duration, err error)) {
-	every := time.Minute
+// StartGCLoop sweeps the tier in a background goroutine until ctx is
+// done, dropping entries older than ttl and enforcing the byte budget
+// (if any). Sweeps run every ttl/4 clamped to [1m, 15m]; a pure byte
+// budget with no TTL sweeps every minute. onSweep, when non-nil,
+// observes each sweep's outcome and duration — both daemons hook their
+// logging, counters, and sweep-duration histograms there.
+//
+// The ctx parameter is what makes graceful shutdown honest: the daemons
+// pass their signal context, so a drain never races a sweep that is
+// still mutating the books while the final stats line is being logged.
+func (d *Disk) StartGCLoop(ctx context.Context, ttl time.Duration, onSweep func(removed int, dur time.Duration, err error)) {
+	every := minGCInterval
 	if ttl > 0 {
 		every = ttl / 4
-		if every < time.Minute {
-			every = time.Minute
-		}
 		if every > 15*time.Minute {
 			every = 15 * time.Minute
 		}
 	}
+	if every < minGCInterval {
+		every = minGCInterval
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
 		for {
 			start := time.Now()
 			n, err := d.GC(ttl)
 			if onSweep != nil {
 				onSweep(n, time.Since(start), err)
 			}
-			time.Sleep(every)
+			select {
+			case <-ctx.Done():
+				return
+			case <-tick.C:
+			}
 		}
 	}()
 }

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"context"
+	"sync/atomic"
+
+	"knighter/internal/engine"
+)
+
+// Hedged races the shared fleet tier (remote kcached) against the local
+// disk tier on every Get: both probes start together and the first HIT
+// wins, so a slow or flaky network round-trip can never make a locally
+// cached entry slower than local I/O — the remote tier bounds p99 from
+// above instead of adding to it. A miss is only declared once both
+// probes have missed (a fast local miss must not mask a remote hit).
+//
+// Puts write through to both sides, like Tiered: local for restart
+// warmth, remote to publish the result to the fleet. A remote hit the
+// local side missed is promoted into the local tier, so fleet results
+// migrate toward the replicas that use them.
+type Hedged struct {
+	remote Store
+	local  Store
+
+	hits       atomic.Int64
+	misses     atomic.Int64
+	puts       atomic.Int64
+	localWins  atomic.Int64
+	remoteWins atomic.Int64
+}
+
+// NewHedged composes the remote and local tiers into one hedged store.
+func NewHedged(remote, local Store) *Hedged {
+	return &Hedged{remote: remote, local: local}
+}
+
+// hedgeAnswer is one probe's result.
+type hedgeAnswer struct {
+	r     *engine.Result
+	ok    bool
+	local bool
+}
+
+// Get implements Store: both probes run concurrently, the first hit is
+// returned immediately and the loser is abandoned (its context is
+// canceled, which the remote tier turns into an aborted request).
+func (h *Hedged) Get(ctx context.Context, k Key) (*engine.Result, bool) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	rctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	ch := make(chan hedgeAnswer, 2)
+	go func() {
+		r, ok := h.remote.Get(rctx, k)
+		ch <- hedgeAnswer{r, ok, false}
+	}()
+	go func() {
+		r, ok := h.local.Get(rctx, k)
+		ch <- hedgeAnswer{r, ok, true}
+	}()
+	for i := 0; i < 2; i++ {
+		a := <-ch
+		if !a.ok {
+			continue
+		}
+		h.hits.Add(1)
+		if a.local {
+			h.localWins.Add(1)
+		} else {
+			h.remoteWins.Add(1)
+			// The fleet had it and this replica's disk did not: promote, so
+			// the next restart (or remote outage) serves it locally.
+			h.local.Put(ctx, k, a.r)
+		}
+		return a.r, true
+	}
+	h.misses.Add(1)
+	return nil, false
+}
+
+// Put implements Store: write through to both sides.
+func (h *Hedged) Put(ctx context.Context, k Key, r *engine.Result) {
+	h.local.Put(ctx, k, r)
+	h.remote.Put(ctx, k, r)
+	h.puts.Add(1)
+}
+
+// InvalidateFunc implements Invalidator.
+func (h *Hedged) InvalidateFunc(funcHash string) int {
+	return h.InvalidateFuncs([]string{funcHash})
+}
+
+// InvalidateFuncs implements BulkInvalidator: both sides get the whole
+// hash set through their widest invalidation interface.
+func (h *Hedged) InvalidateFuncs(funcHashes []string) int {
+	return invalidateAll(h.local, funcHashes) + invalidateAll(h.remote, funcHashes)
+}
+
+// Stats implements Store: the hedge's own hit/miss/put counters, with
+// Entries and Bytes from the local tier (the remote tier reports no
+// entry counts — its contents belong to kcached's books) and the
+// GC-style counters summed across both sides, mirroring Tiered.
+func (h *Hedged) Stats() Stats {
+	local, remote := h.local.Stats(), h.remote.Stats()
+	return Stats{
+		Hits:        h.hits.Load(),
+		Misses:      h.misses.Load(),
+		Puts:        h.puts.Load(),
+		Evictions:   local.Evictions + remote.Evictions,
+		Entries:     local.Entries,
+		Bytes:       local.Bytes,
+		Invalidated: local.Invalidated + remote.Invalidated,
+		Expired:     local.Expired + remote.Expired,
+	}
+}
+
+// WinStats reports how many hedged hits each side won — the number that
+// says whether the fleet tier is actually faster than local I/O.
+func (h *Hedged) WinStats() (localWins, remoteWins int64) {
+	return h.localWins.Load(), h.remoteWins.Load()
+}

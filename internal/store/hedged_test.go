@@ -1,0 +1,122 @@
+package store
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"knighter/internal/engine"
+)
+
+// gateStore wraps a Store and blocks every Get until the gate channel
+// closes or the context dies — a stand-in for a slow remote tier.
+type gateStore struct {
+	Store
+	gate <-chan struct{}
+}
+
+func (g *gateStore) Get(ctx context.Context, k Key) (*engine.Result, bool) {
+	select {
+	case <-g.gate:
+	case <-ctx.Done():
+		return nil, false
+	}
+	return g.Store.Get(ctx, k)
+}
+
+func TestHedgedLocalHitWinsOverSlowRemote(t *testing.T) {
+	gate := make(chan struct{}) // never closes: remote hangs until canceled
+	remote := &gateStore{Store: NewMemory(0), gate: gate}
+	local := NewMemory(0)
+	local.Put(bg, fkey("fA", "ck"), result("local"))
+
+	h := NewHedged(remote, local)
+	done := make(chan struct{})
+	var got *engine.Result
+	var ok bool
+	go func() {
+		got, ok = h.Get(bg, fkey("fA", "ck"))
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hedged Get waited on the hung remote despite a local hit")
+	}
+	if !ok || got == nil {
+		t.Fatal("local hit lost")
+	}
+	if lw, rw := h.WinStats(); lw != 1 || rw != 0 {
+		t.Fatalf("win stats = local %d remote %d", lw, rw)
+	}
+}
+
+func TestHedgedRemoteHitPromotesToLocal(t *testing.T) {
+	remote := NewMemory(0)
+	remote.Put(bg, fkey("fA", "ck"), result("fleet"))
+	local := NewMemory(0)
+
+	h := NewHedged(remote, local)
+	got, ok := h.Get(bg, fkey("fA", "ck"))
+	if !ok || !sameResult(t, got, result("fleet")) {
+		t.Fatalf("remote hit lost: ok=%v", ok)
+	}
+	if lw, rw := h.WinStats(); rw != 1 || lw != 0 {
+		t.Fatalf("win stats = local %d remote %d", lw, rw)
+	}
+	// The hit was promoted: the local tier now answers on its own.
+	if _, ok := local.Get(bg, fkey("fA", "ck")); !ok {
+		t.Fatal("remote hit not promoted into the local tier")
+	}
+}
+
+func TestHedgedMissWaitsForBothSides(t *testing.T) {
+	// The remote is slow but HAS the entry; the local side misses
+	// instantly. The hedge must not declare a miss off the fast local
+	// answer — it must wait for the remote hit.
+	gate := make(chan struct{})
+	remoteMem := NewMemory(0)
+	remoteMem.Put(bg, fkey("fA", "ck"), result("slow-remote"))
+	remote := &gateStore{Store: remoteMem, gate: gate}
+	local := NewMemory(0)
+
+	h := NewHedged(remote, local)
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		close(gate)
+	}()
+	got, ok := h.Get(bg, fkey("fA", "ck"))
+	if !ok || !sameResult(t, got, result("slow-remote")) {
+		t.Fatalf("fast local miss masked the remote hit: ok=%v", ok)
+	}
+
+	// And a genuine double miss is a miss.
+	if _, ok := h.Get(bg, fkey("fB", "ck")); ok {
+		t.Fatal("hit on a key neither side holds")
+	}
+	st := h.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestHedgedPutAndInvalidateReachBothSides(t *testing.T) {
+	remote := NewMemory(0)
+	local := NewMemory(0)
+	h := NewHedged(remote, local)
+
+	h.Put(bg, fkey("fA", "ck"), result("x"))
+	if _, ok := remote.Get(bg, fkey("fA", "ck")); !ok {
+		t.Fatal("Put did not reach the remote side")
+	}
+	if _, ok := local.Get(bg, fkey("fA", "ck")); !ok {
+		t.Fatal("Put did not reach the local side")
+	}
+
+	if n := h.InvalidateFuncs([]string{"fA"}); n != 2 {
+		t.Fatalf("invalidated %d entries across both sides, want 2", n)
+	}
+	if _, ok := h.Get(bg, fkey("fA", "ck")); ok {
+		t.Fatal("entry survived invalidation")
+	}
+}

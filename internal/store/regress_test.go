@@ -1,0 +1,150 @@
+package store
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDiskInvalidateCountsOnlyStatConfirmedFiles pins the
+// InvalidateFunc x GC counter-drift fix: a globbed name whose stat
+// fails (here a dangling symlink, standing in for a file a concurrent
+// GC sweep removed between the glob and the stat) must not be counted —
+// the old code counted len(names) and double-decremented the books.
+func TestDiskInvalidateCountsOnlyStatConfirmedFiles(t *testing.T) {
+	d, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Put(bg, fkey("fA", "ck1"), result("a1"))
+	d.Put(bg, fkey("fA", "ck2"), result("a2"))
+
+	// A name the glob will list but the stat will reject.
+	phantom := filepath.Join(d.funcDir("fA"), "phantom.json")
+	if err := os.Symlink(filepath.Join(d.dir, "no-such-target"), phantom); err != nil {
+		t.Skipf("symlink: %v", err)
+	}
+
+	if n := d.InvalidateFunc("fA"); n != 2 {
+		t.Fatalf("InvalidateFunc counted %d entries, want 2 (phantom file counted)", n)
+	}
+	st := d.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("books drifted: %+v", st)
+	}
+	if st.Invalidated != 2 {
+		t.Fatalf("Invalidated = %d want 2", st.Invalidated)
+	}
+}
+
+// TestDiskBooksNeverNegativeUnderInvalidateGCRace hammers InvalidateFuncs
+// against concurrent GC sweeps: whatever the interleaving, the final
+// counters must match the real tree and never dip below zero.
+func TestDiskBooksNeverNegativeUnderInvalidateGCRace(t *testing.T) {
+	d, err := NewDisk(t.TempDir(), DiskMaxBytes(1)) // budget evicts everything each sweep
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				fh := fmt.Sprintf("f%d-%d", w, i%8)
+				d.Put(bg, fkey(fh, "ck"), result("x"))
+				if i%3 == 0 {
+					d.InvalidateFuncs([]string{fh})
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			d.GC(time.Nanosecond) // everything already written is "old"
+		}
+	}()
+	wg.Wait()
+	d.GC(time.Nanosecond)
+
+	st := d.Stats()
+	if st.Entries < 0 || st.Bytes < 0 {
+		t.Fatalf("books went negative: %+v", st)
+	}
+	entries, bytes := d.walk()
+	if st.Entries != entries || st.Bytes != bytes {
+		t.Fatalf("books drifted from the tree: counters (%d, %d) tree (%d, %d)",
+			st.Entries, st.Bytes, entries, bytes)
+	}
+}
+
+// TestDiskGCLoopStopsOnContextCancel pins the unstoppable-GC-goroutine
+// fix: canceling the context passed to StartGCLoop must stop the
+// sweeps, so a daemon's graceful drain never races one.
+func TestDiskGCLoopStopsOnContextCancel(t *testing.T) {
+	old := minGCInterval
+	minGCInterval = 2 * time.Millisecond
+	defer func() { minGCInterval = old }()
+
+	d, err := NewDisk(t.TempDir(), DiskMaxBytes(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sweeps atomic.Int64
+	ctx, cancel := context.WithCancel(context.Background())
+	d.StartGCLoop(ctx, 0, func(int, time.Duration, error) { sweeps.Add(1) })
+
+	deadline := time.Now().Add(2 * time.Second)
+	for sweeps.Load() < 3 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	if sweeps.Load() < 3 {
+		t.Fatalf("GC loop barely ran: %d sweeps", sweeps.Load())
+	}
+	cancel()
+	// One sweep may already be in flight at cancel time; after it lands,
+	// the count must freeze.
+	time.Sleep(20 * time.Millisecond)
+	frozen := sweeps.Load()
+	time.Sleep(50 * time.Millisecond)
+	if got := sweeps.Load(); got != frozen {
+		t.Fatalf("GC loop kept sweeping after cancel: %d -> %d", frozen, got)
+	}
+}
+
+// TestTieredStatsReportsBackTierUnconditionally pins the Stats
+// misreporting fix: when the back tier is legitimately empty (full
+// invalidation), the composite must report empty — not fall back to the
+// front tier's promoted copies. The per-tier breakdown stays available
+// via TierStats.
+func TestTieredStatsReportsBackTierUnconditionally(t *testing.T) {
+	front, back := NewMemory(0), NewMemory(0)
+	tier := NewTiered(front, back)
+
+	tier.Put(bg, fkey("fA", "ck"), result("x"))
+	if tier.Stats().Entries != 1 {
+		t.Fatalf("stats after put: %+v", tier.Stats())
+	}
+
+	// Drop the back tier only: the composite's truth is the back tier,
+	// so it must report zero even though the front still holds a copy.
+	back.InvalidateFunc("fA")
+	st := tier.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("composite reported front-tier counts for an empty back tier: %+v", st)
+	}
+	f, b := tier.TierStats()
+	if f.Entries != 1 {
+		t.Fatalf("front tier breakdown lost: %+v", f)
+	}
+	if b.Entries != 0 {
+		t.Fatalf("back tier breakdown wrong: %+v", b)
+	}
+}

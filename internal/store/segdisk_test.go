@@ -1,0 +1,195 @@
+package store
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func newTestSegDisk(t *testing.T, dir string, opts ...SegmentDiskOption) *SegmentDisk {
+	t.Helper()
+	// Tests control sync points; no background flusher.
+	opts = append([]SegmentDiskOption{SegmentDiskSyncInterval(-1)}, opts...)
+	d, err := NewSegmentDisk(dir, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func sameResult(t *testing.T, got, want interface{}) bool {
+	t.Helper()
+	g, err := json.Marshal(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := json.Marshal(want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(g) == string(w)
+}
+
+func TestSegmentDiskRoundTrip(t *testing.T) {
+	d := newTestSegDisk(t, t.TempDir())
+
+	r := result("segdisk")
+	d.Put(bg, fkey("fA", "ck1"), r)
+	got, ok := d.Get(bg, fkey("fA", "ck1"))
+	if !ok || !sameResult(t, got, r) {
+		t.Fatalf("round trip failed: ok=%v got=%+v", ok, got)
+	}
+	if _, ok := d.Get(bg, fkey("fA", "ck2")); ok {
+		t.Fatal("hit on a key never put")
+	}
+	st := d.Stats()
+	if st.Entries != 1 || st.Puts != 1 || st.Hits != 1 || st.Misses != 1 || st.Bytes <= 0 {
+		t.Fatalf("stats = %+v", st)
+	}
+	// Get hands back an independent result: mutating it must not change
+	// what the next Get sees.
+	got.Reports[0].Message = "mutated"
+	again, _ := d.Get(bg, fkey("fA", "ck1"))
+	if again.Reports[0].Message != r.Reports[0].Message {
+		t.Fatal("Get returned a shared result")
+	}
+}
+
+func TestSegmentDiskInvalidatePersists(t *testing.T) {
+	dir := t.TempDir()
+	d := newTestSegDisk(t, dir)
+	d.Put(bg, fkey("fA", "ck1"), result("a1"))
+	d.Put(bg, fkey("fA", "ck2"), result("a2"))
+	d.Put(bg, fkey("fB", "ck1"), result("b1"))
+	if n := d.InvalidateFuncs([]string{"fA", "missing"}); n != 2 {
+		t.Fatalf("invalidated %d entries, want 2", n)
+	}
+	st := d.Stats()
+	if st.Entries != 1 || st.Invalidated != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The tombstone is in the log: a reopen must not resurrect fA.
+	d2 := newTestSegDisk(t, dir)
+	if _, ok := d2.Get(bg, fkey("fA", "ck1")); ok {
+		t.Fatal("invalidated entry resurrected after reopen")
+	}
+	if _, ok := d2.Get(bg, fkey("fB", "ck1")); !ok {
+		t.Fatal("surviving entry lost after reopen")
+	}
+}
+
+func TestSegmentDiskMigratesFilePerEntry(t *testing.T) {
+	dir := t.TempDir()
+	legacy, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := []Key{fkey("fA", "ck1"), fkey("fA", "ck2"), fkey("fB", "ck1")}
+	for i, k := range keys {
+		legacy.Put(bg, k, result(string(rune('a'+i))))
+	}
+
+	d := newTestSegDisk(t, dir)
+	if d.Migrated() != len(keys) {
+		t.Fatalf("migrated %d entries, want %d", d.Migrated(), len(keys))
+	}
+	for i, k := range keys {
+		got, ok := d.Get(bg, k)
+		if !ok || !sameResult(t, got, result(string(rune('a'+i)))) {
+			t.Fatalf("migrated entry %d: ok=%v got=%+v", i, ok, got)
+		}
+	}
+	// The legacy shard directories are gone; only segments remain.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			t.Fatalf("legacy shard dir %q survived migration", e.Name())
+		}
+	}
+	// Migrated entries keep their function-hash addressing: invalidation
+	// by the ORIGINAL hash still drops them.
+	if n := d.InvalidateFunc("fA"); n != 2 {
+		t.Fatalf("InvalidateFunc(fA) after migration = %d, want 2", n)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second open: nothing left to migrate, entries recovered from the
+	// segment log.
+	d2 := newTestSegDisk(t, dir)
+	if d2.Migrated() != 0 {
+		t.Fatalf("second open migrated %d entries", d2.Migrated())
+	}
+	if _, ok := d2.Get(bg, fkey("fB", "ck1")); !ok {
+		t.Fatal("migrated entry lost after reopen")
+	}
+}
+
+func TestSegmentDiskMigrationKeepsTTLClock(t *testing.T) {
+	dir := t.TempDir()
+	legacy, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	legacy.Put(bg, fkey("fOld", "ck"), result("old"))
+	legacy.Put(bg, fkey("fNew", "ck"), result("new"))
+	// Age fOld's file two hours: migration must carry the mtime as the
+	// entry's TTL clock, so a 1h TTL compaction expires it immediately.
+	oldPath := filepath.Join(legacy.funcDir("fOld"), fkey("fOld", "ck").ID()+".json")
+	past := time.Now().Add(-2 * time.Hour)
+	if err := os.Chtimes(oldPath, past, past); err != nil {
+		t.Fatal(err)
+	}
+
+	d := newTestSegDisk(t, dir)
+	res := d.Compact(time.Hour)
+	if res.Expired != 1 {
+		t.Fatalf("expired %d migrated entries, want 1 (res %+v)", res.Expired, res)
+	}
+	if _, ok := d.Get(bg, fkey("fOld", "ck")); ok {
+		t.Fatal("aged migrated entry survived TTL compaction")
+	}
+	if _, ok := d.Get(bg, fkey("fNew", "ck")); !ok {
+		t.Fatal("fresh migrated entry expired")
+	}
+}
+
+func TestSegmentDiskNilAndUncacheable(t *testing.T) {
+	d := newTestSegDisk(t, t.TempDir())
+	d.Put(bg, fkey("fA", "ck"), nil)
+	if st := d.Stats(); st.Puts != 0 || st.Entries != 0 {
+		t.Fatalf("nil Put stored something: %+v", st)
+	}
+}
+
+func TestSegmentDiskStatsMatchEngineBooks(t *testing.T) {
+	d := newTestSegDisk(t, t.TempDir(), SegmentDiskMaxBytes(1))
+	for i := 0; i < 8; i++ {
+		d.Put(bg, fkey(string(rune('a'+i)), "ck"), result("x"))
+	}
+	// A 1-byte budget evicts everything on compaction; Entries/Bytes
+	// must be exactly zero afterwards, never negative.
+	d.Compact(0)
+	st := d.Stats()
+	if st.Entries != 0 || st.Bytes != 0 {
+		t.Fatalf("post-evict-all stats = %+v", st)
+	}
+	if st.Evictions != 8 {
+		t.Fatalf("evictions = %d want 8", st.Evictions)
+	}
+	if !reflect.DeepEqual(st.Entries, 0) {
+		t.Fatalf("entries %v", st.Entries)
+	}
+}

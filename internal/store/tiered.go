@@ -46,9 +46,14 @@ func (t *Tiered) Put(ctx context.Context, k Key, r *engine.Result) {
 
 // Stats implements Store: the composite's own hit/miss/put counters,
 // with entries and evictions aggregated from the tiers. Entries and
-// Bytes both report the back tier alone: Puts write through and Gets
-// promote, so the back tier is a superset of the front and summing the
-// tiers would double-count every promoted entry.
+// Bytes both report the back tier alone, unconditionally: Puts write
+// through and Gets promote, so the back tier is a superset of the front
+// and summing the tiers would double-count every promoted entry. When
+// the back tier is legitimately empty (right after a full invalidation,
+// or a back tier that only holds what survives its budget) the
+// composite reports empty too — falling back to front-tier counts here
+// inflated /stats and /metrics with entries the back tier did not hold.
+// Callers that want the per-tier breakdown use TierStats.
 func (t *Tiered) Stats() Stats {
 	t.mu.Lock()
 	s := t.stats
@@ -59,10 +64,6 @@ func (t *Tiered) Stats() Stats {
 	s.Expired = front.Expired + back.Expired
 	s.Entries = back.Entries
 	s.Bytes = back.Bytes
-	if s.Entries == 0 {
-		s.Entries = front.Entries
-		s.Bytes = front.Bytes
-	}
 	return s
 }
 
