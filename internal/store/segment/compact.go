@@ -134,6 +134,13 @@ func (s *Store) Compact(ttl time.Duration) CompactResult {
 		sort.Slice(live, func(i, j int) bool { return live[i].recOff < live[j].recOff })
 		ok := true
 		for _, r := range live {
+			if r.seg != sf.id {
+				// Tombstone forwarding for an earlier victim of this pass
+				// already relocated this entry to the active segment; its
+				// ref no longer points into this file. Copying at the new
+				// offset would read garbage from the victim.
+				continue
+			}
 			rec, err := sf.readRecord(r.recOff, r.recLen)
 			if err != nil {
 				ok = false
@@ -153,7 +160,14 @@ func (s *Store) Compact(ttl time.Duration) CompactResult {
 		if !ok {
 			// Copy failed mid-segment: keep the victim (its remaining refs
 			// still point into it) and let a later pass retry. Refs already
-			// copied point at the active segment, which is fine.
+			// copied point at the active segment, which is fine. The kept
+			// file is now a survivor — later victims' tombstones must be
+			// forwarded past it, or its replay could resurrect their dead
+			// records after a restart.
+			delete(removing, sf.id)
+			if oldestSurvivor == 0 || sf.id < oldestSurvivor {
+				oldestSurvivor = sf.id
+			}
 			continue
 		}
 		// Forward the victim's tombstones whose deletions could still be
@@ -210,7 +224,11 @@ func (s *Store) Compact(ttl time.Duration) CompactResult {
 			}
 		}
 	}
-	if s.active != nil {
+	// A failed victim skips its per-victim sync, so sync once more before
+	// clearing the dirty flag — otherwise its partial copies and forwarded
+	// tombstones would sit unsynced until the next Put re-dirties the
+	// segment, widening the crash-loss window past the flush interval.
+	if s.active != nil && s.active.f.Sync() == nil {
 		s.dirty.Store(false)
 	}
 	s.compactions.Add(1)

@@ -54,9 +54,16 @@ const (
 	kindTombstone = 2
 	// maxRecordBytes bounds one record so a corrupt length field cannot
 	// make recovery allocate an absurd buffer. Matches the wire bound the
-	// cache protocol enforces.
+	// cache protocol enforces. PutAt rejects anything larger: a record
+	// that recovery would refuse to replay must never be written, or a
+	// restart would treat it as corruption and truncate everything after
+	// it.
 	maxRecordBytes = 64 << 20
 )
+
+// ErrRecordTooLarge rejects a Put whose encoded record would exceed
+// maxRecordBytes and therefore be unrecoverable after a restart.
+var ErrRecordTooLarge = fmt.Errorf("segment: record exceeds %d bytes", maxRecordBytes)
 
 // castagnoli is the CRC polynomial used for record checksums (hardware
 // accelerated on every platform we run on).
@@ -487,6 +494,9 @@ func (s *Store) Put(id, funcTok string, payload []byte) error {
 // entry. Migration uses it to preserve the age of entries carried over
 // from the file-per-entry layout.
 func (s *Store) PutAt(id, funcTok string, payload []byte, t time.Time) error {
+	if bodyLen := 9 + 8 + len(id) + len(funcTok) + len(payload); bodyLen > maxRecordBytes {
+		return ErrRecordTooLarge
+	}
 	rec := encodePut(id, funcTok, payload, t.UnixNano())
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -703,10 +713,16 @@ func (s *Store) Walk(fn func(id string)) {
 	}
 }
 
-// readRecord fetches one full framed record (for compaction copies).
+// readRecord fetches one full framed record (for compaction copies). A
+// short read is an error, never a zero-padded success: compaction must
+// take its keep-the-victim path rather than copy a truncated record.
 func (sf *segFile) readRecord(off int64, length uint32) ([]byte, error) {
 	buf := make([]byte, length)
-	if _, err := sf.f.ReadAt(buf, off); err != nil && err != io.EOF {
+	n, err := sf.f.ReadAt(buf, off)
+	if n != int(length) {
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return nil, err
 	}
 	return buf, nil

@@ -392,6 +392,174 @@ func TestCompactForwardsTombstones(t *testing.T) {
 	checkIntegrity(t, s2)
 }
 
+// TestCompactSkipsRefsRelocatedByForwarding is the regression for a
+// corruption bug: tombstone forwarding (while processing an early
+// victim) re-appends live entries of the tombstoned func and updates
+// their refs in place — including entries living in a LATER victim of
+// the same pass. That victim's copy loop then saw the ref's new
+// active-segment offset and copied garbage from its own file,
+// repointing the index at it and leaving an unreplayable frame in the
+// log. The copy loop must skip refs that no longer point into the
+// victim.
+func TestCompactSkipsRefsRelocatedByForwarding(t *testing.T) {
+	dir := t.TempDir()
+	// Uniform sizing: 5-byte ids, 1-byte func tokens, 10-byte payloads →
+	// 45-byte put records, three per segment.
+	recSize := int64(headerSize + 9 + 8 + 5 + 1 + 10)
+	pay := func(s string) []byte { return []byte(fmt.Sprintf("%-10s", s))[:10] }
+	s := mustOpen(t, dir, Options{
+		SyncInterval:        -1,
+		SegmentMaxBytes:     3 * recSize,
+		CompactDeadFraction: 0.5,
+	})
+
+	// seg1 (survivor, dead fraction 1/3): keep1 + keep2 + dead1/F.
+	mustPut(t, s, "keep1", "G", pay("keep"))
+	mustPut(t, s, "keep2", "G", pay("keep"))
+	mustPut(t, s, "dead1", "F", pay("stale"))
+	// seg2 (victim, fully dead): tombstone F + junk1..3 v1.
+	if n := s.InvalidateFunc("F"); n != 1 {
+		t.Fatalf("InvalidateFunc = %d", n)
+	}
+	mustPut(t, s, "junk1", "H", pay("v1"))
+	mustPut(t, s, "junk2", "H", pay("v1"))
+	mustPut(t, s, "junk3", "H", pay("v1"))
+	// seg3 (victim, dead fraction 2/3): liveF/F — the entry forwarding
+	// will relocate — plus junk4/junk5 v1.
+	mustPut(t, s, "liveF", "F", pay("fresh"))
+	mustPut(t, s, "junk4", "H", pay("v1"))
+	mustPut(t, s, "junk5", "H", pay("v1"))
+	// seg4 (survivor): junk1..3 v2 kill seg2's copies.
+	mustPut(t, s, "junk1", "H", pay("v2"))
+	mustPut(t, s, "junk2", "H", pay("v2"))
+	mustPut(t, s, "junk3", "H", pay("v2"))
+	// seg5 (active): junk4/junk5 v2 kill seg3's copies.
+	mustPut(t, s, "junk4", "H", pay("v2"))
+	mustPut(t, s, "junk5", "H", pay("v2"))
+
+	res := s.Compact(0)
+	// Both seg2 (tombstone holder) and seg3 (home of the relocated entry)
+	// must go: a pass that kept seg3 mishandled the relocated ref.
+	if res.Removed != 2 {
+		t.Fatalf("Removed = %d want 2 (res %+v)", res.Removed, res)
+	}
+	if got, ok := s.Get("liveF"); !ok || string(got) != string(pay("fresh")) {
+		t.Fatalf("relocated entry corrupted by victim copy: %q,%v", got, ok)
+	}
+	want := liveSet(t, s)
+	checkIntegrity(t, s)
+	s.Close()
+
+	// Replay must agree byte-for-byte: a garbage frame appended by the
+	// bug truncates recovery of everything after it.
+	s2 := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	got := liveSet(t, s2)
+	if len(got) != len(want) {
+		t.Fatalf("reopen: %d entries want %d", len(got), len(want))
+	}
+	for id, p := range want {
+		if got[id] != p {
+			t.Fatalf("reopen Get(%s) = %q want %q", id, got[id], p)
+		}
+	}
+	if _, ok := s2.Get("dead1"); ok {
+		t.Fatal("dead entry resurrected after compaction")
+	}
+	checkIntegrity(t, s2)
+}
+
+// TestCompactKeptVictimStillForwardsTombstones is the regression for a
+// dropped-tombstone bug: survivors were computed up front excluding ALL
+// victims, but a victim whose copy fails is kept on disk. If that kept
+// victim is older than a removed victim holding a tombstone, the
+// tombstone was skipped as unnecessary — and replay of the kept segment
+// resurrected the dead entries after restart. A kept victim must count
+// as a survivor for every later victim's forwarding decision.
+func TestCompactKeptVictimStillForwardsTombstones(t *testing.T) {
+	dir := t.TempDir()
+	recSize := int64(headerSize + 9 + 8 + 5 + 1 + 10)
+	pay := func(s string) []byte { return []byte(fmt.Sprintf("%-10s", s))[:10] }
+	s := mustOpen(t, dir, Options{
+		SyncInterval:        -1,
+		SegmentMaxBytes:     2 * recSize,
+		CompactDeadFraction: 0.5,
+	})
+
+	// seg1 (victim whose copy will fail): dead1/F first, live1/G second.
+	mustPut(t, s, "dead1", "F", pay("stale"))
+	mustPut(t, s, "live1", "G", pay("keep"))
+	// seg2 (victim, fully dead): tombstone F + junkA/junkB v1.
+	if n := s.InvalidateFunc("F"); n != 1 {
+		t.Fatalf("InvalidateFunc = %d", n)
+	}
+	mustPut(t, s, "junkA", "H", pay("v1"))
+	mustPut(t, s, "junkB", "H", pay("v1"))
+	// seg3 (survivor): junkA/junkB v2.
+	mustPut(t, s, "junkA", "H", pay("v2"))
+	mustPut(t, s, "junkB", "H", pay("v2"))
+	// seg4 (active).
+	mustPut(t, s, "fill1", "H", pay("fill"))
+
+	// Make seg1 dirty enough to be a victim (dead1 is dead: fraction
+	// 1/2) and make its copy fail: tear live1's record off the tail, so
+	// readRecord short-reads. dead1's record stays intact and replayable.
+	if err := os.Truncate(s.segPath(1), recSize+10); err != nil {
+		t.Fatal(err)
+	}
+
+	res := s.Compact(0)
+	// seg2 removed; seg1 kept (copy failed).
+	if res.Removed != 1 {
+		t.Fatalf("Removed = %d want 1 (res %+v)", res.Removed, res)
+	}
+	if _, err := os.Stat(s.segPath(1)); err != nil {
+		t.Fatalf("failed-copy victim was deleted: %v", err)
+	}
+	if _, err := os.Stat(s.segPath(2)); !os.IsNotExist(err) {
+		t.Fatalf("dead victim not deleted: %v", err)
+	}
+	checkIntegrity(t, s)
+	s.Close()
+
+	s2 := mustOpen(t, dir, testOptions())
+	defer s2.Close()
+	// The kept seg1 replays dead1/F; the forwarded tombstone must kill it.
+	if _, ok := s2.Get("dead1"); ok {
+		t.Fatal("dead entry resurrected: tombstone dropped because its survivor was a kept victim")
+	}
+	for id, want := range map[string]string{
+		"junkA": string(pay("v2")),
+		"junkB": string(pay("v2")),
+		"fill1": string(pay("fill")),
+	} {
+		if got, ok := s2.Get(id); !ok || string(got) != want {
+			t.Fatalf("Get(%s) = %q,%v want %q", id, got, ok, want)
+		}
+	}
+	checkIntegrity(t, s2)
+}
+
+// TestPutRejectsOversizedRecord: a record recovery would refuse to
+// replay must never be written — on restart its length field reads as
+// corruption and truncates every later record in the segment.
+func TestPutRejectsOversizedRecord(t *testing.T) {
+	s := mustOpen(t, t.TempDir(), testOptions())
+	defer s.Close()
+	if err := s.Put("big", "f", make([]byte, maxRecordBytes)); err != ErrRecordTooLarge {
+		t.Fatalf("oversized Put err = %v want ErrRecordTooLarge", err)
+	}
+	st := s.Stats()
+	if st.Entries != 0 || st.Bytes != 0 || st.DiskBytes != 0 {
+		t.Fatalf("oversized Put left state behind: %+v", st)
+	}
+	mustPut(t, s, "ok", "f", []byte("fits"))
+	if got, ok := s.Get("ok"); !ok || string(got) != "fits" {
+		t.Fatalf("Get(ok) = %q,%v after rejected put", got, ok)
+	}
+	checkIntegrity(t, s)
+}
+
 func TestInvalidateFuncsBatch(t *testing.T) {
 	s := mustOpen(t, t.TempDir(), testOptions())
 	defer s.Close()
