@@ -11,12 +11,15 @@ package knighter
 
 import (
 	"context"
+	"encoding/json"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"knighter/internal/api"
 	"knighter/internal/checker"
 	"knighter/internal/ckdsl"
 	"knighter/internal/engine"
@@ -26,6 +29,7 @@ import (
 	"knighter/internal/minic"
 	"knighter/internal/obs"
 	"knighter/internal/scan"
+	"knighter/internal/shard"
 	"knighter/internal/smatch"
 	"knighter/internal/store"
 	"knighter/internal/synth"
@@ -771,6 +775,147 @@ func BenchmarkScanDuringChangeset(b *testing.B) {
 	<-done
 	b.ReportMetric(float64(res.CacheHits), "cache-hits")
 	b.ReportMetric(float64(res.Generation), "generation")
+}
+
+// benchShardCodebase parses one full copy of the benchmark corpus — one
+// fleet replica's memory image (sharding shares scan work, not memory).
+func benchShardCodebase(b *testing.B) *scan.Codebase {
+	b.Helper()
+	cb, err := scan.NewCodebase(kernel.Generate(kernel.Config{Seed: 1, Scale: benchScale}))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cb
+}
+
+func benchFileIdx(b *testing.B, cb *scan.Codebase, paths []string) []int {
+	b.Helper()
+	idx := make([]int, len(paths))
+	for i, p := range paths {
+		if idx[i] = cb.FileIndex(p); idx[i] < 0 {
+			b.Fatalf("unknown file %s", p)
+		}
+	}
+	return idx
+}
+
+// BenchmarkScanColdSingleWorker is the single-host baseline for
+// BenchmarkScanShardedFanout: a cold full-corpus scan with ONE analysis
+// worker — the same per-host worker budget each shard gets, so the
+// ratio between the two benchmarks isolates what the fan-out adds
+// (a second host's worth of compute) rather than comparing different
+// levels of local parallelism.
+func BenchmarkScanColdSingleWorker(b *testing.B) {
+	cb := benchShardCodebase(b)
+	ck := mustChecker(b, benchCacheDSL)
+	all := make([]int, len(cb.Files()))
+	for i := range all {
+		all[i] = i
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := scan.NewIncremental(cb, store.NewMemory(0)).
+			RunFiles(all, []checker.Checker{ck}, scan.Options{Workers: 1})
+		if res.CacheHits != 0 {
+			b.Fatal("cold scan hit the cache")
+		}
+	}
+}
+
+// BenchmarkScanShardedFanout measures the tentpole: a cold full-corpus
+// scan scattered across TWO in-process shard owners (the coordinator's
+// local partition plus one peer behind real HTTP) and merged. Each host
+// runs one analysis worker, so against BenchmarkScanColdSingleWorker
+// this is the horizontal-scaling claim: >= 1.5x faster with
+// byte-identical output (asserted here before timing starts).
+//
+// The speedup needs GOMAXPROCS >= 2 — both "hosts" live in this
+// process, so each needs its own core to scan concurrently, exactly as
+// two real machines would. On a single-core runner the two benchmarks
+// converge and the delta IS the scatter tax (HTTP + JSON + merge),
+// which is worth watching in its own right; the byte-identity gate
+// runs regardless.
+func BenchmarkScanShardedFanout(b *testing.B) {
+	cbA := benchShardCodebase(b) // coordinator replica
+	cbB := benchShardCodebase(b) // peer shard owner
+	ck := mustChecker(b, benchCacheDSL)
+	cks := []checker.Checker{ck}
+	paths := make([]string, len(cbA.Files()))
+	for i, f := range cbA.Files() {
+		paths[i] = f.Name
+	}
+	ring := shard.Ring{Count: 2}
+
+	// Per-iteration cold stores, swapped in behind a mutex so the peer
+	// handler (a different goroutine) reads the current one.
+	var mu sync.Mutex
+	var incA, incB *scan.Incremental
+	swap := func() {
+		mu.Lock()
+		incA = scan.NewIncremental(cbA, store.NewMemory(0))
+		incB = scan.NewIncremental(cbB, store.NewMemory(0))
+		mu.Unlock()
+	}
+	cur := func() (*scan.Incremental, *scan.Incremental) {
+		mu.Lock()
+		defer mu.Unlock()
+		return incA, incB
+	}
+	swap()
+
+	peer := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		var req api.ScanRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		_, inc := cur()
+		res := inc.RunFiles(benchFileIdx(b, cbB, req.Files), cks,
+			scan.Options{Workers: 1, Context: r.Context()})
+		json.NewEncoder(w).Encode(api.ScanResult("bench_cache", res, false, true))
+	}))
+	defer peer.Close()
+
+	sc := shard.NewScatter(shard.Config{Ring: ring, Self: 0, Peers: []string{"", peer.URL}}, shard.Hooks{})
+	job := shard.ScanJob{
+		Req:   api.ScanRequest{Checker: benchCacheDSL},
+		Name:  "bench_cache",
+		Paths: paths,
+		Local: func(ctx context.Context, files []string) ([]*api.ScanResponse, error) {
+			inc, _ := cur()
+			res := inc.RunFiles(benchFileIdx(b, cbA, files), cks,
+				scan.Options{Workers: 1, Context: ctx})
+			return []*api.ScanResponse{api.ScanResult("bench_cache", res, false, true)}, nil
+		},
+	}
+
+	// Byte-identity gate: the merged scatter must equal the single-host
+	// scan before its speed means anything.
+	single := scan.NewIncremental(cbA, store.NewMemory(0)).
+		RunFiles(benchFileIdx(b, cbA, paths), cks, scan.Options{Workers: 1})
+	want := api.ScanResult("bench_cache", single, false, false)
+	merged, info, err := sc.Scan(context.Background(), job)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if info.Degraded != 0 {
+		b.Fatalf("healthy fleet degraded %d partitions", info.Degraded)
+	}
+	wantJSON, _ := json.Marshal(want.Reports)
+	gotJSON, _ := json.Marshal(merged.Reports)
+	if string(wantJSON) != string(gotJSON) ||
+		merged.FilesScanned != want.FilesScanned || merged.FuncsScanned != want.FuncsScanned {
+		b.Fatalf("sharded scan diverged from single host:\n got %s\nwant %s", gotJSON, wantJSON)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		swap()
+		if _, _, err := sc.Scan(context.Background(), job); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(merged.Reports)), "reports")
 }
 
 // BenchmarkBatchScanWarm measures the kserve /batch steady state: four

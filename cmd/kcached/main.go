@@ -29,9 +29,18 @@
 //	GET  /entry/{id}?fh=&ck=&eng=   cached result (200) or miss (404)
 //	PUT  /entry/{id}?fh=&ck=&eng=   store a result (204)
 //	POST /invalidate                {"func_hashes": [...]}
+//	POST /feed                      publish a fleet changeset commit
+//	GET  /feed?from=N               pull commits a shard missed
 //	GET  /stats                     store + request counters
 //	GET  /metrics                   Prometheus text exposition
 //	GET  /healthz                   liveness
+//
+// The /feed pair is the sharded fleet's generation feed (see
+// internal/shard): a kserve coordinator that commits a changeset
+// publishes (generation, changes) here, and a shard owner that detects
+// it is behind pulls and replays the entries it missed. The feed is a
+// bounded in-memory ledger (-feed-cap), not a durability mechanism —
+// a shard that falls out of the retention window must be reseeded.
 //
 // Every request is access-logged with its X-Trace-Id (when the client —
 // a kserve replica's remote tier — sent one), so one trace id greps
@@ -52,6 +61,7 @@ import (
 	"time"
 
 	"knighter/internal/obs"
+	"knighter/internal/shard"
 	"knighter/internal/store"
 )
 
@@ -61,6 +71,7 @@ func main() {
 	cacheTTL := flag.Duration("cache-ttl", 0, "drop entries older than this (0 = keep forever)")
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk byte budget; compaction evicts oldest-first past it (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", store.DefaultMemoryBytes, "memory front-tier byte budget (0 = library default)")
+	feedCap := flag.Int("feed-cap", shard.DefaultFeedCap, "generation-feed retention (entries); shards further behind than this cannot converge from the feed")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6061); never exposed on the main port")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -104,6 +115,10 @@ func main() {
 		store.Instrument(reg, "disk", disk))
 	cs := store.NewCacheServer(tier)
 	cs.Register(reg)
+	// The generation feed rides on the cache daemon because it is the
+	// one process every sharded replica already dials.
+	feed := shard.NewFeed(*feedCap)
+	feed.Register(reg)
 	// Compaction always runs: even without a TTL or byte budget it
 	// reclaims the dead bytes that overwrites and invalidations leave in
 	// the segment log. It stops with the signal context.
@@ -120,7 +135,10 @@ func main() {
 	// Graceful shutdown: SIGTERM/SIGINT stops the listener, in-flight
 	// entry requests drain (bounded), and the final store shape goes to
 	// the log — a fleet roll never truncates a PUT mid-body.
-	hs := &http.Server{Addr: *addr, Handler: store.AccessLog(log.Default(), cs.Handler())}
+	mux := http.NewServeMux()
+	mux.Handle("/feed", feed.Handler())
+	mux.Handle("/", cs.Handler())
+	hs := &http.Server{Addr: *addr, Handler: store.AccessLog(log.Default(), mux)}
 	errCh := make(chan error, 1)
 	go func() { errCh <- hs.ListenAndServe() }()
 	st := disk.Stats()

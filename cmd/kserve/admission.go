@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"net"
 	"net/http"
 	"strconv"
@@ -41,6 +42,18 @@ type admission struct {
 	shed               atomic.Int64
 	fairShed           atomic.Int64
 
+	// Cost weighting: an inflight token counts REQUESTS, but a /batch of
+	// 50 checkers over the full corpus is not one /scan of one file. Each
+	// admitted request additionally charges its cost (checkers x files
+	// for reads, ops for writes) against costOutstanding, and when
+	// maxCost > 0 a request whose cost would push the outstanding sum
+	// past the budget is shed exactly like a full queue. maxCost == 0
+	// still tracks the weight (the admission_cost_weight gauge stays
+	// meaningful) but never sheds on it.
+	maxCost         int64
+	costOutstanding atomic.Int64
+	costShed        atomic.Int64
+
 	// cmu guards queuedByClient: per-client queue occupancy, entries
 	// removed at zero so the map tracks only currently-queued clients.
 	cmu            sync.Mutex
@@ -76,6 +89,10 @@ func (a *admission) register(reg *obs.Registry, prefix string) {
 		func() float64 { return float64(a.shed.Load()) })
 	reg.CounterFunc(prefix+"_fairness_shed_total", "Sheds caused by the per-client bound alone.",
 		func() float64 { return float64(a.fairShed.Load()) })
+	reg.GaugeFunc(prefix+"_cost_weight", "Summed cost weight (checkers x files) of requests currently executing behind the gate.",
+		func() float64 { return float64(a.costOutstanding.Load()) })
+	reg.CounterFunc(prefix+"_cost_shed_total", "Requests shed because their cost weight would exceed the outstanding-cost budget.",
+		func() float64 { return float64(a.costShed.Load()) })
 	a.waitDur = reg.Histogram(prefix+"_wait_seconds",
 		"Queue wait of each admitted request; fast-path admissions observe zero.", nil)
 }
@@ -226,6 +243,38 @@ func (a *admission) wrap(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// admitCost charges a request's cost weight against the gate's
+// outstanding-cost budget, after the body is decoded (cost needs the
+// request's shape) but before any expensive work. It returns a release
+// func (call exactly once, normally deferred) and whether the request
+// may proceed; on false the 429 has already been written.
+//
+// An idle gate (nothing outstanding) always admits, whatever the cost:
+// a request bigger than the whole budget must still be servable, just
+// never CONCURRENTLY with other work. Nil-safe like wrap.
+func (a *admission) admitCost(w http.ResponseWriter, cost int64) (func(), bool) {
+	if a == nil {
+		return func() {}, true
+	}
+	if cost < 1 {
+		cost = 1
+	}
+	for {
+		cur := a.costOutstanding.Load()
+		if a.maxCost > 0 && cur > 0 && cur+cost > a.maxCost {
+			a.costShed.Add(1)
+			a.shedRequest(w, fmt.Sprintf(
+				"request cost %d would exceed the outstanding-cost budget (%d of %d in use); retry after the indicated delay",
+				cost, cur, a.maxCost))
+			return nil, false
+		}
+		if a.costOutstanding.CompareAndSwap(cur, cur+cost) {
+			var once sync.Once
+			return func() { once.Do(func() { a.costOutstanding.Add(-cost) }) }, true
+		}
+	}
+}
+
 // snapshot returns the current counters as the /stats wire shape, or
 // nil when gating is off.
 func (a *admission) snapshot() *api.AdmissionStats {
@@ -245,5 +294,8 @@ func (a *admission) snapshot() *api.AdmissionStats {
 		Admitted:           a.admitted.Load(),
 		Shed:               a.shed.Load(),
 		FairnessShed:       a.fairShed.Load(),
+		MaxCost:            a.maxCost,
+		CostWeight:         a.costOutstanding.Load(),
+		CostShed:           a.costShed.Load(),
 	}
 }

@@ -21,7 +21,20 @@
 // /changeset) behind their own gate (-max-inflight-writes,
 // -max-queued-writes) — so a changeset storm sheds writes, never
 // reads. Excess load is shed with 429 + Retry-After instead of being
-// buffered without bound.
+// buffered without bound. -max-cost/-max-cost-writes add a
+// cost-weighted budget on top (checkers × files for reads, ops for
+// writes), so one enormous batch can't starve the gate that a
+// request-count limit would admit.
+//
+// With -shard-count N (plus -shard-index and -peers) the daemon joins
+// a sharded fleet: each replica owns the files whose path hash lands
+// on its index, any replica coordinates a scan by scattering
+// shard-local sub-scans to the owners and merging the partials
+// byte-identically to a single-host scan, and changesets propagate
+// fleet-wide through a generation feed hosted on the -cache-remote
+// kcached (peers replay it via POST /converge). A dead or behind
+// shard degrades its partition to the coordinator's local snapshot —
+// slower, never wrong.
 //
 // Wire types live in internal/api: every response carries the corpus
 // generation (body + X-KN-Generation header), scan-shaped requests
@@ -37,7 +50,11 @@
 //	kserve -func-timeout 2s        # default per-function analysis budget
 //	kserve -max-inflight 8 -max-queued 32 -max-queued-per-client 4
 //	kserve -max-inflight-writes 1 -max-queued-writes 32
+//	kserve -max-cost 100000        # weighted read budget: sum of checkers x files
 //	kserve -min-gen-wait 2s        # bounded wait before 409 on min_generation
+//	kserve -shard-index 0 -shard-count 3 -peers http://a:8321,http://b:8321,http://c:8321 \
+//	       -cache-remote http://cache-host:8322   # sharded fleet member
+//	kserve -shard-timeout 30s -shard-hedge 200ms  # scatter budgets
 //
 // Endpoints:
 //
@@ -46,7 +63,9 @@
 //	POST /patch            {"path": "...", "func": "...", "source": "..."}
 //	POST /changeset        {"changes": [{"path", "func?", "source"}, ...], "async": bool}
 //	GET  /changeset/status ?generation=N  async changeset outcome
-//	GET  /stats            cache + service + admission counters
+//	POST /converge         replay the generation feed to catch this shard up
+//	GET  /stats            cache + service + admission (+ shard) counters
+//	GET  /metrics          Prometheus exposition
 //	GET  /healthz          liveness
 package main
 
@@ -63,6 +82,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -93,6 +113,13 @@ func main() {
 	maxQueuedPerClient := flag.Int("max-queued-per-client", 16, "max queued requests per client key (X-Client-ID header or remote address; 0 = unbounded)")
 	maxInflightWrites := flag.Int("max-inflight-writes", 1, "max concurrent write requests (/patch, /changeset); writes serialize on the corpus commit lock anyway (0 = ungated)")
 	maxQueuedWrites := flag.Int("max-queued-writes", 32, "max write requests waiting before shedding with 429")
+	maxCost := flag.Int64("max-cost", 0, "max summed cost weight (checkers x files) of admitted read requests (0 = unweighted admission)")
+	maxCostWrites := flag.Int64("max-cost-writes", 0, "max summed cost weight (changeset ops) of admitted write requests (0 = unweighted)")
+	shardIndex := flag.Int("shard-index", 0, "this replica's shard index within the fleet (with -shard-count)")
+	shardCount := flag.Int("shard-count", 1, "number of corpus shards; > 1 enables scatter/gather fan-out")
+	peers := flag.String("peers", "", "comma-separated shard base URLs in shard-index order (required when -shard-count > 1; entry -shard-index names this replica)")
+	shardTimeout := flag.Duration("shard-timeout", 60*time.Second, "per-shard sub-request budget before the partition falls back to the local snapshot")
+	shardHedge := flag.Duration("shard-hedge", 0, "start a local-snapshot hedge for a shard sub-request outstanding this long (0 = fall back only on failure)")
 	minGenWait := flag.Duration("min-gen-wait", 2*time.Second, "bounded wait for a request's min_generation before answering 409")
 	slowScan := flag.Duration("slow-scan", 0, "log a structured slow-request report (trace id + stage timeline) for requests slower than this (0 = off)")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6060); never exposed on the main port")
@@ -177,9 +204,31 @@ func main() {
 	srv.funcTimeout = *funcTimeout
 	srv.slowScan = *slowScan
 	srv.minGenWait = *minGenWait
-	srv.setGates(
-		newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient),
-		newAdmission(*maxInflightWrites, *maxQueuedWrites, *maxQueuedPerClient))
+	read := newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient)
+	write := newAdmission(*maxInflightWrites, *maxQueuedWrites, *maxQueuedPerClient)
+	if read != nil {
+		read.maxCost = *maxCost
+	}
+	if write != nil {
+		write.maxCost = *maxCostWrites
+	}
+	srv.setGates(read, write)
+	if *shardCount > 1 {
+		peerList := splitPeers(*peers)
+		if len(peerList) != *shardCount {
+			fmt.Fprintf(os.Stderr, "kserve: -shard-count %d needs exactly that many -peers entries, got %d\n", *shardCount, len(peerList))
+			os.Exit(2)
+		}
+		if *shardIndex < 0 || *shardIndex >= *shardCount {
+			fmt.Fprintf(os.Stderr, "kserve: -shard-index %d out of range [0,%d)\n", *shardIndex, *shardCount)
+			os.Exit(2)
+		}
+		srv.setupShard(*shardIndex, *shardCount, peerList, *cacheRemote, *shardTimeout, *shardHedge)
+		if *cacheRemote == "" {
+			log.Printf("kserve: sharded without -cache-remote: no generation feed; changesets will not propagate to peers")
+		}
+		log.Printf("kserve: shard %d/%d, peers=%v", *shardIndex, *shardCount, peerList)
+	}
 	srv.registerMetrics(reg)
 	if disk != nil {
 		// Compaction runs whenever the disk tier exists: even without a
@@ -283,6 +332,9 @@ type server struct {
 	// asyncLedger records async changeset outcomes for
 	// GET /changeset/status.
 	asyncLedger asyncLedger
+	// shard is the fleet fan-out layer (-shard-count > 1); nil on a
+	// single-host daemon, and every shard path nil-checks it.
+	shard *shardLayer
 	// accessLog overrides the destination of per-request log lines
 	// (tests inject one; nil = the process logger).
 	accessLog *log.Logger
@@ -372,6 +424,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/batch", s.withObs("batch", s.adm.wrap(s.handleBatch)))
 	mux.HandleFunc("/changeset", s.withObs("changeset", s.wadm.wrap(s.handleChangeset)))
 	mux.HandleFunc("/changeset/status", s.handleChangesetStatus)
+	mux.HandleFunc("/converge", s.withObs("converge", s.wadm.wrap(s.handleConverge)))
 	mux.HandleFunc("/patch", s.withObs("patch", s.wadm.wrap(s.handlePatch)))
 	mux.HandleFunc("/stats", s.handleStats)
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -385,14 +438,20 @@ func (s *server) routes() http.Handler {
 	return mux
 }
 
-// cacheOf maps a scan result's cache counters onto the wire shape.
-func cacheOf(res *scan.Result) api.CacheStats {
-	return api.CacheStats{
-		Hits:      res.CacheHits,
-		Misses:    res.CacheMisses,
-		HitRate:   store.Stats{Hits: int64(res.CacheHits), Misses: int64(res.CacheMisses)}.HitRate(),
-		Coalesced: res.CacheCoalesced,
+// requestCost is the admission cost weight of a scan-shaped request:
+// checkers x files, with an empty file list meaning the whole corpus.
+// It is what the request will actually make the analyzer walk, so one
+// 50-checker full-corpus /batch weighs 50 corpus scans — not the one
+// token a single-file /scan also costs.
+func (s *server) requestCost(checkers int, files []string) int64 {
+	n := len(files)
+	if n == 0 {
+		n = len(s.inc.Codebase().Files())
 	}
+	if checkers < 1 {
+		checkers = 1
+	}
+	return int64(checkers) * int64(n)
 }
 
 // attachTiming copies the request trace's id and span timeline into the
@@ -407,37 +466,12 @@ func attachTiming(ctx context.Context, id *string, spans *[]obs.Span, want bool)
 	}
 }
 
-func (s *server) toScanResponse(name string, res *scan.Result, includeTrace bool) *api.ScanResponse {
-	resp := &api.ScanResponse{
-		Checker:      name,
-		Reports:      make([]api.Report, 0, len(res.Reports)),
-		FilesScanned: res.FilesScanned,
-		FuncsScanned: res.FuncsScanned,
-		Truncated:    res.Truncated,
-		Canceled:     res.Canceled,
-		TimedOut:     res.FuncsTimedOut,
-		Cache:        cacheOf(res),
-		Generation:   res.Generation,
-		// The scan's own wall time: for a batch entry this is the
-		// individual checker's cost, not the whole batch's.
-		ElapsedMS: float64(res.Elapsed.Microseconds()) / 1000,
-	}
-	for _, rep := range res.Reports {
-		rj := api.Report{
-			Checker: rep.Checker, BugType: rep.BugType, Message: rep.Message,
-			File: rep.File, Func: rep.Func, Line: rep.Pos.Line, Col: rep.Pos.Col,
-			Region: rep.RegionAt,
-		}
-		if includeTrace {
-			for _, t := range rep.Trace {
-				rj.Trace = append(rj.Trace, api.TraceStep{Line: t.Pos.Line, Col: t.Pos.Col, Note: t.Note})
-			}
-		}
-		resp.Reports = append(resp.Reports, rj)
-	}
-	for _, re := range res.RuntimeErrs {
-		resp.RuntimeErrs = append(resp.RuntimeErrs, re.Error())
-	}
+// toScanResponse wraps the shared api.ScanResult conversion with the
+// server's reports-served accounting. includeCuts is set for shard-local
+// sub-scans: the per-file cut list is what lets a coordinator splice
+// this partial back into global file order.
+func (s *server) toScanResponse(name string, res *scan.Result, includeTrace, includeCuts bool) *api.ScanResponse {
+	resp := api.ScanResult(name, res, includeTrace, includeCuts)
 	s.reportsServed.Add(int64(len(resp.Reports)))
 	return resp
 }
@@ -515,12 +549,25 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'checker' (DSL text)")
 		return
 	}
+	// Cost-weighted admission: the gate's token only counted requests;
+	// the cost charge weighs what is inside one (checkers x files), so
+	// one enormous request cannot hide behind the same token a tiny one
+	// costs.
+	release, ok := s.adm.admitCost(w, s.requestCost(1, req.Files))
+	if !ok {
+		return
+	}
+	defer release()
 	ck, err := ckdsl.CompileSource(req.Checker)
 	if err != nil {
 		s.scanErrors.Add(1)
 		s.httpError(w, http.StatusUnprocessableEntity, api.ErrUnprocessable, "checker does not compile: "+err.Error())
 		return
 	}
+	// A sharded replica that is behind the requested generation tries
+	// the feed first: a sub-scan from a coordinator that just committed
+	// converges here instead of burning its bounded wait toward a 409.
+	s.maybeConverge(r.Context(), req.MinGeneration)
 	if !s.awaitMinGeneration(w, r, req.MinGeneration) {
 		return
 	}
@@ -534,6 +581,10 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, api.ErrNotFound, err.Error())
 		return
 	}
+	if s.shard != nil && !req.ShardLocal {
+		s.scatterScan(w, r, &req, ck)
+		return
+	}
 	if files == nil {
 		files = allFiles(s.inc.Codebase())
 	}
@@ -545,7 +596,10 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	if res.Canceled {
 		s.scansCanceled.Add(1)
 	}
-	resp := s.toScanResponse(ck.Name(), res, req.IncludeTrace)
+	if req.ShardLocal && s.shard != nil {
+		s.shard.subScans.Add(1)
+	}
+	resp := s.toScanResponse(ck.Name(), res, req.IncludeTrace, req.ShardLocal)
 	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
 	s.writeOK(w, res.Generation, resp)
 }
@@ -566,6 +620,14 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'checkers' (list of DSL texts)")
 		return
 	}
+	// Cost-weighted admission: a /batch weighs checkers x files, so the
+	// tenant shipping 50 checkers over the full corpus is charged 50
+	// corpus scans, not one request.
+	release, ok := s.adm.admitCost(w, s.requestCost(len(req.Checkers), req.Files))
+	if !ok {
+		return
+	}
+	defer release()
 
 	// Compile every checker first; a bad revision gets a per-entry error
 	// instead of failing its siblings.
@@ -583,6 +645,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		cks = append(cks, ck)
 		live = append(live, i)
 	}
+	s.maybeConverge(r.Context(), req.MinGeneration)
 	if !s.awaitMinGeneration(w, r, req.MinGeneration) {
 		return
 	}
@@ -596,6 +659,10 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusNotFound, api.ErrNotFound, err.Error())
 		return
 	}
+	if s.shard != nil && !req.ShardLocal && len(cks) > 0 {
+		s.scatterBatch(w, r, &req, resp, cks, live)
+		return
+	}
 
 	// Default for an all-errors batch (nothing scanned): the live
 	// generation; any actual result overwrites it with the pinned one.
@@ -607,7 +674,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 
 	agg := &scan.Result{}
 	for bi, res := range results {
-		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace)
+		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace, req.ShardLocal)
 		s.observeScan(res)
 		resp.Generation = res.Generation
 		agg.CacheHits += res.CacheHits
@@ -618,7 +685,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	resp.CheckersRun = len(cks)
-	resp.Cache = cacheOf(agg)
+	resp.Cache = api.CacheOf(agg)
 	resp.ElapsedMS = float64(elapsed.Microseconds()) / 1000
 	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
 	s.batches.Add(1)
@@ -642,6 +709,12 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 		s.httpError(w, http.StatusBadRequest, api.ErrBadRequest, "missing 'path' or 'source'")
 		return
 	}
+	// Write cost is ops: one for a patch.
+	release, ok := s.wadm.admitCost(w, 1)
+	if !ok {
+		return
+	}
+	defer release()
 
 	// No request-wide lock: the mutation is an MVCC commit — in-flight
 	// scans keep their pinned snapshots; the next admitted scan pins the
@@ -663,6 +736,9 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	}
 	s.patches.Add(1)
 	s.observeCommit(time.Since(start))
+	// A patch is a one-change commit to the fleet feed, so sharded peers
+	// converge on it the same way they do on changesets.
+	s.shardPublish(m.Generation, []api.Change{{Path: req.Path, Func: req.Func, Source: req.Source}})
 	s.writeOK(w, m.Generation, &api.PatchResponse{
 		Path:             m.Path,
 		Mode:             mode,
@@ -700,6 +776,12 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 		}
 		changes = append(changes, scan.Change{Path: c.Path, Func: c.Func, Source: c.Source})
 	}
+	// Write cost is ops: each change is one staged parse + commit entry.
+	release, ok := s.wadm.admitCost(w, int64(len(req.Changes)))
+	if !ok {
+		return
+	}
+	defer release()
 
 	start := time.Now()
 	if req.Async {
@@ -710,7 +792,7 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 		a := s.inc.ApplyChangesetAsync(changes)
 		s.asyncChangesets.Add(1)
 		s.asyncLedger.record(a.Generation)
-		go s.settleAsync(a, start)
+		go s.settleAsync(a, start, req.Changes)
 		s.writeJSONGen(w, http.StatusAccepted, a.Generation, &api.ChangesetResponse{
 			Async:      true,
 			Status:     api.StatusPending,
@@ -731,6 +813,7 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 	}
 	s.changesets.Add(1)
 	s.observeCommit(time.Since(start))
+	s.shardPublish(cs.Generation, req.Changes)
 	resp := &api.ChangesetResponse{
 		Status:           api.StatusCommitted,
 		Ops:              cs.Ops,
@@ -748,7 +831,9 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 
 // settleAsync waits for an async changeset to commit (or fail) and
 // records the outcome in the ledger so /changeset/status can report it.
-func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time) {
+// A committed changeset is also published to the fleet feed — only
+// then, so peers never replay a change the coordinator rejected.
+func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time, changes []api.Change) {
 	cs, err := a.Result()
 	if err != nil {
 		s.scanErrors.Add(1)
@@ -761,6 +846,7 @@ func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time) {
 	}
 	s.changesets.Add(1)
 	s.observeCommit(time.Since(start))
+	s.shardPublish(cs.Generation, changes)
 	st := &api.ChangesetStatus{
 		Generation:       cs.Generation,
 		Status:           api.StatusCommitted,
@@ -875,6 +961,7 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Remote:          remote,
 		Admission:       s.adm.snapshot(),
 		WriteAdmission:  s.wadm.snapshot(),
+		Shards:          s.shardStats(),
 	})
 }
 
@@ -890,6 +977,22 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Generation:      gen,
 		PinnedSnapshots: cb.PinnedSnapshots(),
 	})
+}
+
+// splitPeers parses the -peers flag: comma-separated base URLs,
+// whitespace-tolerant, trailing slashes dropped.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		p = strings.TrimRight(strings.TrimSpace(p), "/")
+		if p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func allFiles(cb *scan.Codebase) []int {

@@ -94,6 +94,7 @@ func (s *server) registerMetrics(reg *obs.Registry) {
 	}
 	s.adm.register(reg, "admission")
 	s.wadm.register(reg, "write_admission")
+	s.registerShardMetrics(reg)
 	obs.RegisterBuildInfo(reg, func() float64 { return time.Since(s.started).Seconds() })
 }
 

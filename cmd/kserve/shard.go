@@ -1,0 +1,439 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knighter/internal/api"
+	"knighter/internal/checker"
+	"knighter/internal/obs"
+	"knighter/internal/scan"
+	"knighter/internal/shard"
+)
+
+// shardLayer is the server's view of the shard fleet: the scatter
+// client, the generation-feed client, and the fan-out counters. nil on
+// an unsharded daemon — every caller nil-checks, so the single-host
+// paths are untouched.
+//
+// Every replica holds the FULL corpus; the shard index only decides
+// which partition of the scan work this replica owns. That is what
+// makes "any replica can coordinate" and "fall back to the local
+// snapshot" cheap: a coordinator is never missing a dead shard's
+// files, it is just slower at scanning them.
+type shardLayer struct {
+	sc    *shard.Scatter
+	ring  shard.Ring
+	index int
+	peers []string
+	// feed is the generation feed through kcached (nil when the daemon
+	// runs sharded without -cache-remote; changesets then reach peers
+	// only via their own coordinators).
+	feed *shard.FeedClient
+	// nudge posts best-effort /converge pokes to peers after a commit.
+	nudge *http.Client
+
+	// convergeMu serializes feed replays so two concurrent triggers
+	// (a nudge racing a sub-scan's lazy converge) cannot interleave
+	// their ApplyChangeset calls.
+	convergeMu sync.Mutex
+
+	scatters      atomic.Int64
+	degraded      atomic.Int64
+	hedged        atomic.Int64
+	subScans      atomic.Int64
+	converges     atomic.Int64
+	feedPublishes atomic.Int64
+
+	// metric instruments; nil until registerShardMetrics (tests without
+	// a registry run with hooks that skip them).
+	fanoutDur   *obs.HistogramVec
+	peerHealthy *obs.GaugeVec
+}
+
+// setupShard wires the server into a shard fleet: this replica owns
+// partition index of count, peers lists every replica's base URL in
+// shard-index order, and feedURL (usually the -cache-remote kcached)
+// carries the generation feed. Call before registerMetrics and before
+// serving.
+func (s *server) setupShard(index, count int, peers []string, feedURL string, timeout, hedgeAfter time.Duration) {
+	sh := &shardLayer{
+		ring:  shard.Ring{Count: count},
+		index: index,
+		peers: peers,
+		nudge: &http.Client{Timeout: 5 * time.Second},
+	}
+	if feedURL != "" {
+		sh.feed = shard.NewFeedClient(feedURL, 5*time.Second)
+	}
+	hooks := shard.Hooks{
+		FanoutDone: func(i int, d time.Duration) {
+			if sh.fanoutDur != nil {
+				sh.fanoutDur.With(strconv.Itoa(i)).Observe(d.Seconds())
+			}
+		},
+		Degraded: func(i int) { sh.degraded.Add(1) },
+		Hedged:   func(i int) { sh.hedged.Add(1) },
+		PeerHealth: func(i int, healthy bool) {
+			if sh.peerHealthy != nil {
+				v := 0.0
+				if healthy {
+					v = 1
+				}
+				sh.peerHealthy.With(strconv.Itoa(i)).Set(v)
+			}
+		},
+	}
+	sh.sc = shard.NewScatter(shard.Config{
+		Ring:       sh.ring,
+		Self:       index,
+		Peers:      peers,
+		Timeout:    timeout,
+		HedgeAfter: hedgeAfter,
+	}, hooks)
+	s.shard = sh
+}
+
+// registerShardMetrics publishes the scatter path on /metrics: the
+// per-shard fan-out latency histogram, the degraded-scatter counter the
+// fault-injection smoke asserts on, and the peer-health gauge vec.
+func (s *server) registerShardMetrics(reg *obs.Registry) {
+	sh := s.shard
+	if sh == nil {
+		return
+	}
+	sh.fanoutDur = reg.HistogramVec("shard_fanout_duration_seconds",
+		"Wall time of one shard's partition within a scatter (however served), by shard.",
+		nil, "shard")
+	sh.peerHealthy = reg.GaugeVec("shard_peer_healthy",
+		"Last-observed shard peer health: 1 healthy, 0 failed its last sub-request.", "peer")
+	for i := range sh.peers {
+		v := 0.0
+		if h := sh.sc.PeerHealth(); i < len(h) && h[i] {
+			v = 1
+		}
+		sh.peerHealthy.With(strconv.Itoa(i)).Set(v)
+	}
+	reg.CounterFunc("shard_scatters_total", "Coordinated scan/batch fan-outs served by this replica.",
+		func() float64 { return float64(sh.scatters.Load()) })
+	reg.CounterFunc("shard_degraded_scatters_total",
+		"Scatter partitions recomputed on the local snapshot because their shard failed or timed out.",
+		func() float64 { return float64(sh.degraded.Load()) })
+	reg.CounterFunc("shard_hedged_sub_scans_total", "Local hedges started against slow shard sub-scans.",
+		func() float64 { return float64(sh.hedged.Load()) })
+	reg.CounterFunc("shard_sub_scans_total", "Shard-local sub-scans served for other coordinators.",
+		func() float64 { return float64(sh.subScans.Load()) })
+	reg.CounterFunc("shard_converges_total", "Generation-feed replays that brought this shard up to the fleet generation.",
+		func() float64 { return float64(sh.converges.Load()) })
+	reg.CounterFunc("shard_feed_publishes_total", "Changeset commits published to the generation feed.",
+		func() float64 { return float64(sh.feedPublishes.Load()) })
+}
+
+// shardStats is the /stats view of the fan-out layer (nil when
+// unsharded).
+func (s *server) shardStats() *api.ShardStats {
+	sh := s.shard
+	if sh == nil {
+		return nil
+	}
+	return &api.ShardStats{
+		Index:          sh.index,
+		Count:          sh.ring.Count,
+		Peers:          sh.peers,
+		Scatters:       sh.scatters.Load(),
+		Degraded:       sh.degraded.Load(),
+		Hedged:         sh.hedged.Load(),
+		SubScansServed: sh.subScans.Load(),
+		Converges:      sh.converges.Load(),
+		FeedPublishes:  sh.feedPublishes.Load(),
+		PeerHealthy:    sh.sc.PeerHealth(),
+	}
+}
+
+// allPaths lists every corpus path in canonical file order — the global
+// order the merge reassembles.
+func allPaths(cb *scan.Codebase) []string {
+	fs := cb.Files()
+	out := make([]string, len(fs))
+	for i, f := range fs {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// scatterScan serves a coordinated /scan: pin the local snapshot (the
+// fallback and the generation floor), scatter shard-local sub-scans,
+// and merge the partials byte-identically to a single-host scan.
+func (s *server) scatterScan(w http.ResponseWriter, r *http.Request, req *api.ScanRequest, ck checker.Checker) {
+	cb := s.inc.Codebase()
+	paths := req.Files
+	if len(paths) == 0 {
+		paths = allPaths(cb)
+	}
+	// The pinned snapshot serves three jobs: it is the local partition's
+	// corpus, the fallback corpus for dead shards, and its generation is
+	// the floor every sub-scan must reach (min_generation) — so however
+	// a partition ends up being served, it sees at least this state.
+	pin := cb.Pin()
+	defer pin.Release()
+	gen := pin.Snapshot.Generation()
+
+	sub := *req
+	sub.MinGeneration = gen
+	cks := []checker.Checker{ck}
+	job := shard.ScanJob{
+		Req:      sub,
+		Name:     ck.Name(),
+		Paths:    paths,
+		ClientID: r.Header.Get(shard.ClientIDHeader),
+		Local: func(ctx context.Context, files []string) ([]*api.ScanResponse, error) {
+			idx, err := s.resolveFiles(files)
+			if err != nil {
+				return nil, err
+			}
+			res := s.inc.RunFilesAt(pin.Snapshot, idx, cks, s.scanOptions(ctx, 0, req.Workers, req.FuncTimeoutMS))
+			s.observeScan(res)
+			return []*api.ScanResponse{api.ScanResult(ck.Name(), res, req.IncludeTrace, true)}, nil
+		},
+	}
+	start := time.Now()
+	merged, info, err := s.shard.sc.Scan(r.Context(), job)
+	s.shard.scatters.Add(1)
+	if err != nil {
+		s.scanErrors.Add(1)
+		s.httpError(w, http.StatusBadGateway, api.ErrUnavailable, "scatter failed: "+err.Error())
+		return
+	}
+	merged.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.scans.Add(1)
+	if merged.Canceled {
+		s.scansCanceled.Add(1)
+	}
+	s.reportsServed.Add(int64(len(merged.Reports)))
+	s.logScatter("scan", r, info, gen)
+	attachTiming(r.Context(), &merged.TraceID, &merged.Timing, req.IncludeTiming)
+	s.writeOK(w, merged.Generation, merged)
+}
+
+// scatterBatch serves a coordinated /batch over the checkers that
+// compiled (cks, at request indices live); resp already carries the
+// per-entry compile errors.
+func (s *server) scatterBatch(w http.ResponseWriter, r *http.Request, req *api.BatchRequest, resp *api.BatchResponse, cks []checker.Checker, live []int) {
+	cb := s.inc.Codebase()
+	paths := req.Files
+	if len(paths) == 0 {
+		paths = allPaths(cb)
+	}
+	pin := cb.Pin()
+	defer pin.Release()
+	gen := pin.Snapshot.Generation()
+
+	sub := api.BatchRequest{
+		Checkers:      make([]string, len(cks)),
+		Workers:       req.Workers,
+		Concurrency:   req.Concurrency,
+		FuncTimeoutMS: req.FuncTimeoutMS,
+		MinGeneration: gen,
+		IncludeTrace:  req.IncludeTrace,
+	}
+	names := make([]string, len(cks))
+	for i := range cks {
+		sub.Checkers[i] = req.Checkers[live[i]]
+		names[i] = cks[i].Name()
+	}
+	job := shard.BatchJob{
+		Req:      sub,
+		Names:    names,
+		Paths:    paths,
+		ClientID: r.Header.Get(shard.ClientIDHeader),
+		Local: func(ctx context.Context, files []string) ([]*api.ScanResponse, error) {
+			idx, err := s.resolveFiles(files)
+			if err != nil {
+				return nil, err
+			}
+			// Sequential per checker: the fallback is the degraded path,
+			// and each entry must match what RunFiles would return for
+			// that checker alone — which RunBatch also guarantees.
+			out := make([]*api.ScanResponse, len(cks))
+			for i, ck := range cks {
+				res := s.inc.RunFilesAt(pin.Snapshot, idx, []checker.Checker{ck},
+					s.scanOptions(ctx, 0, req.Workers, req.FuncTimeoutMS))
+				s.observeScan(res)
+				out[i] = api.ScanResult(ck.Name(), res, req.IncludeTrace, true)
+			}
+			return out, nil
+		},
+	}
+	start := time.Now()
+	merged, info, err := s.shard.sc.Batch(r.Context(), job)
+	s.shard.scatters.Add(1)
+	if err != nil {
+		s.scanErrors.Add(1)
+		s.httpError(w, http.StatusBadGateway, api.ErrUnavailable, "scatter failed: "+err.Error())
+		return
+	}
+	resp.Generation = gen
+	agg := api.CacheStats{}
+	for bi, m := range merged {
+		resp.Results[live[bi]] = m
+		s.reportsServed.Add(int64(len(m.Reports)))
+		agg.Hits += m.Cache.Hits
+		agg.Misses += m.Cache.Misses
+		agg.Coalesced += m.Cache.Coalesced
+		if m.Canceled {
+			s.scansCanceled.Add(1)
+		}
+	}
+	if n := agg.Hits + agg.Misses; n > 0 {
+		agg.HitRate = float64(agg.Hits) / float64(n)
+	}
+	resp.CheckersRun = len(cks)
+	resp.Cache = agg
+	resp.ElapsedMS = float64(time.Since(start).Microseconds()) / 1000
+	s.logScatter("batch", r, info, gen)
+	attachTiming(r.Context(), &resp.TraceID, &resp.Timing, req.IncludeTiming)
+	s.batches.Add(1)
+	s.scans.Add(int64(len(cks)))
+	s.writeOK(w, resp.Generation, resp)
+}
+
+// logScatter leaves one access-log line per degraded or hedged scatter
+// — quiet in the healthy steady state.
+func (s *server) logScatter(route string, r *http.Request, info shard.Info, gen int64) {
+	if info.Degraded == 0 && info.Hedged == 0 {
+		return
+	}
+	tr := obs.TraceFrom(r.Context())
+	id := ""
+	if tr != nil {
+		id = tr.ID
+	}
+	s.logf("scatter %s: shards=%d degraded=%d hedged=%d gen=%d trace=%s",
+		route, info.Shards, info.Degraded, info.Hedged, gen, id)
+}
+
+// maybeConverge pulls the generation feed when a sharded replica
+// notices a request wants a generation it has not reached: the lazy
+// half of fleet convergence (the eager half is the post-commit nudge).
+// Failures are not fatal here — awaitMinGeneration still runs after,
+// and 409s if the corpus really cannot get there.
+func (s *server) maybeConverge(ctx context.Context, min int64) {
+	sh := s.shard
+	if sh == nil || sh.feed == nil || min <= 0 {
+		return
+	}
+	if s.inc.Codebase().Generation() >= min {
+		return
+	}
+	if _, err := s.converge(ctx); err != nil {
+		s.logf("converge: %v", err)
+	}
+}
+
+// converge pulls the feed entries this replica is missing and replays
+// them in generation order. Replays go through ApplyChangeset, so they
+// invalidate stale cache entries and wake min_generation waiters
+// exactly like a directly-served commit.
+func (s *server) converge(ctx context.Context) (int, error) {
+	sh := s.shard
+	if sh == nil || sh.feed == nil {
+		return 0, nil
+	}
+	sh.convergeMu.Lock()
+	defer sh.convergeMu.Unlock()
+	cb := s.inc.Codebase()
+	page, err := sh.feed.Since(ctx, cb.Generation())
+	if err != nil {
+		return 0, err
+	}
+	applied := 0
+	for _, e := range page.Entries {
+		cur := cb.Generation()
+		if e.Generation <= cur {
+			continue // raced a direct commit of the same generation
+		}
+		if e.Generation != cur+1 {
+			return applied, fmt.Errorf("feed gap: at generation %d, next feed entry is %d (fell out of the feed's retention window?)", cur, e.Generation)
+		}
+		changes := make([]scan.Change, 0, len(e.Changes))
+		for _, c := range e.Changes {
+			changes = append(changes, scan.Change{Path: c.Path, Func: c.Func, Source: c.Source})
+		}
+		if _, err := s.inc.ApplyChangeset(changes); err != nil {
+			return applied, fmt.Errorf("replay generation %d: %w", e.Generation, err)
+		}
+		applied++
+	}
+	if applied > 0 {
+		sh.converges.Add(1)
+	}
+	return applied, nil
+}
+
+// handleConverge is the eager convergence endpoint: coordinators poke
+// it on peers after committing, and operators can poke it by hand. It
+// sits behind the write gate because a replay IS a write.
+func (s *server) handleConverge(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.httpError(w, http.StatusMethodNotAllowed, api.ErrMethodNotAllowed, "POST only")
+		return
+	}
+	if s.shard == nil || s.shard.feed == nil {
+		s.httpError(w, http.StatusNotFound, api.ErrUnavailable, "not sharded, or no generation feed configured (-shard-count, -cache-remote)")
+		return
+	}
+	start := time.Now()
+	applied, err := s.converge(r.Context())
+	if err != nil {
+		s.writeError(w, http.StatusConflict, &api.Error{
+			Code:    api.ErrGenerationUnavailable,
+			Message: "converge: " + err.Error(),
+		})
+		return
+	}
+	gen := s.inc.Codebase().Generation()
+	s.writeOK(w, gen, &api.ConvergeResponse{
+		Generation: gen,
+		Applied:    applied,
+		ElapsedMS:  float64(time.Since(start).Microseconds()) / 1000,
+	})
+}
+
+// shardPublish commits a mutation fleet-wide: publish (generation,
+// changes) to the feed, then nudge every peer to converge. Both legs
+// are asynchronous and best-effort — the local commit already
+// succeeded, and a peer that misses the nudge converges lazily the
+// next time a sub-scan arrives with a min_generation it has not seen.
+func (s *server) shardPublish(gen int64, changes []api.Change) {
+	sh := s.shard
+	if sh == nil || sh.feed == nil {
+		return
+	}
+	sh.feedPublishes.Add(1)
+	entry := api.FeedEntry{Generation: gen, Changes: changes}
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := sh.feed.Publish(ctx, entry); err != nil {
+			s.logf("feed publish generation %d: %v", gen, err)
+			return
+		}
+		for i, peer := range sh.peers {
+			if i == sh.index || peer == "" {
+				continue
+			}
+			go func(peer string) {
+				resp, err := sh.nudge.Post(peer+"/converge", "application/json", nil)
+				if err != nil {
+					return
+				}
+				resp.Body.Close()
+			}(peer)
+		}
+	}()
+}

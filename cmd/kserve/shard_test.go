@@ -1,0 +1,316 @@
+package main
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"knighter/internal/api"
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+	"knighter/internal/obs"
+	"knighter/internal/scan"
+	"knighter/internal/shard"
+	"knighter/internal/store"
+)
+
+// newShardFleet boots n kserve replicas over the same corpus, each owning
+// one shard, each able to coordinate. feedURL wires the generation feed
+// (empty = no feed, so changesets stay local to their coordinator).
+func newShardFleet(t *testing.T, n int, feedURL string) ([]*server, []*httptest.Server) {
+	t.Helper()
+	srvs := make([]*server, n)
+	tss := make([]*httptest.Server, n)
+	urls := make([]string, n)
+	for i := range srvs {
+		corpus := kernel.Generate(kernel.Config{Seed: 1, Scale: 0.1})
+		cb, err := scan.NewCodebase(corpus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[i] = newServer(scan.NewIncremental(cb, store.NewMemory(0)))
+		tss[i] = httptest.NewServer(srvs[i].routes())
+		t.Cleanup(tss[i].Close)
+		urls[i] = tss[i].URL
+	}
+	for i, srv := range srvs {
+		srv.setupShard(i, n, urls, feedURL, 10*time.Second, 0)
+		srv.registerMetrics(obs.NewRegistry("kserve"))
+	}
+	return srvs, tss
+}
+
+// sameScan asserts the deterministic fields of two scan responses match:
+// the byte-identity contract covers reports (order included), runtime
+// errors, counters, and truncation — not timings or cache counters.
+func sameScan(t *testing.T, label string, got, want *api.ScanResponse) {
+	t.Helper()
+	if gj, wj := reportsJSON(t, got), reportsJSON(t, want); gj != wj {
+		t.Fatalf("%s: reports diverge\n got: %s\nwant: %s", label, gj, wj)
+	}
+	if got.FilesScanned != want.FilesScanned || got.FuncsScanned != want.FuncsScanned {
+		t.Fatalf("%s: scanned files=%d/%d funcs=%d/%d", label,
+			got.FilesScanned, want.FilesScanned, got.FuncsScanned, want.FuncsScanned)
+	}
+	if got.Truncated != want.Truncated {
+		t.Fatalf("%s: truncated=%v, want %v", label, got.Truncated, want.Truncated)
+	}
+	if len(got.RuntimeErrs) != len(want.RuntimeErrs) {
+		t.Fatalf("%s: %d runtime errs, want %d", label, len(got.RuntimeErrs), len(want.RuntimeErrs))
+	}
+	if got.Generation != want.Generation {
+		t.Fatalf("%s: generation=%d, want %d", label, got.Generation, want.Generation)
+	}
+}
+
+// TestShardedScanByteIdentical is the tentpole acceptance criterion: a
+// scatter/gathered scan — whole corpus, explicit file subset, and
+// MaxReports-truncated — returns byte-identical reports to a single-host
+// scan, from any coordinator.
+func TestShardedScanByteIdentical(t *testing.T) {
+	_, single := newTestServer(t)
+	srvs, tss := newShardFleet(t, 3, "")
+
+	req := api.ScanRequest{Checker: testChecker}
+	want := postScan(t, single, req)
+	if len(want.Reports) == 0 {
+		t.Fatal("fixture checker found no reports; the equivalence check is vacuous")
+	}
+	sameScan(t, "full corpus", postScan(t, tss[0], req), want)
+	// Any replica can coordinate, not just shard 0.
+	sameScan(t, "coordinator=1", postScan(t, tss[1], req), want)
+
+	// Truncation is applied by the coordinator after the merge, so the
+	// capped prefix is the same bytes a single host would keep.
+	capped := api.ScanRequest{Checker: testChecker, MaxReports: 3}
+	sameScan(t, "max_reports", postScan(t, tss[0], capped), postScan(t, single, capped))
+
+	// An explicit file subset partitions the same way.
+	files := srvs[0].inc.Codebase().Files()
+	var subset []string
+	for i := 0; i < len(files); i += 3 {
+		subset = append(subset, files[i].Name)
+	}
+	sub := api.ScanRequest{Checker: testChecker, Files: subset}
+	sameScan(t, "file subset", postScan(t, tss[0], sub), postScan(t, single, sub))
+
+	if srvs[0].shard.scatters.Load() == 0 {
+		t.Fatal("coordinator recorded no scatters")
+	}
+	if subs := srvs[1].shard.subScans.Load() + srvs[2].shard.subScans.Load(); subs == 0 {
+		t.Fatal("no peer served a shard-local sub-scan — the work never fanned out")
+	}
+	if d := srvs[0].shard.degraded.Load(); d != 0 {
+		t.Fatalf("healthy fleet recorded %d degraded scatters", d)
+	}
+	st := getStats(t, tss[0])
+	if st.Shards == nil || st.Shards.Count != 3 || st.Shards.Scatters == 0 {
+		t.Fatalf("/stats shards = %+v", st.Shards)
+	}
+}
+
+// TestShardedScanShardDeathFallsBack kills one shard owner outright and
+// asserts the fault-injection acceptance criterion: zero non-2xx
+// client responses, byte-identical merged output (served degraded from
+// the coordinator's local snapshot), and the degraded counter visible
+// on /stats and /metrics.
+func TestShardedScanShardDeathFallsBack(t *testing.T) {
+	_, single := newTestServer(t)
+	srvs, tss := newShardFleet(t, 3, "")
+	tss[2].Close() // SIGKILL stand-in: connections refused from now on
+
+	req := api.ScanRequest{Checker: testChecker}
+	want := postScan(t, single, req)
+	// postScan fails the test on any non-200, so one passing call IS the
+	// zero-non-2xx assertion.
+	sameScan(t, "shard death", postScan(t, tss[0], req), want)
+
+	if d := srvs[0].shard.degraded.Load(); d == 0 {
+		t.Fatal("dead shard produced no degraded scatter")
+	}
+	st := getStats(t, tss[0])
+	if st.Shards.Degraded == 0 {
+		t.Fatalf("/stats degraded_scatters = %d, want > 0", st.Shards.Degraded)
+	}
+	if len(st.Shards.PeerHealthy) != 3 || st.Shards.PeerHealthy[2] {
+		t.Fatalf("/stats peer health = %v, want shard 2 unhealthy", st.Shards.PeerHealthy)
+	}
+	metrics := getMetrics(t, tss[0])
+	for _, name := range []string{
+		"kserve_shard_degraded_scatters_total",
+		"kserve_shard_fanout_duration_seconds",
+		"kserve_shard_peer_healthy",
+		"kserve_shard_scatters_total",
+	} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+	if strings.Contains(metrics, "kserve_shard_degraded_scatters_total 0\n") {
+		t.Fatal("/metrics still reports zero degraded scatters")
+	}
+}
+
+// TestShardedBatchByteIdentical: /batch scatters per checker and merges
+// per entry; compile errors keep their request positions.
+func TestShardedBatchByteIdentical(t *testing.T) {
+	_, single := newTestServer(t)
+	_, tss := newShardFleet(t, 3, "")
+
+	req := api.BatchRequest{Checkers: []string{
+		testChecker,
+		"checker broken {", // keeps its slot as a per-entry error
+		strings.Replace(testChecker, "serve_npd", "serve_npd_b", 1),
+	}}
+	var want, got api.BatchResponse
+	if code := postJSON(t, single, "/batch", req, &want); code != 200 {
+		t.Fatalf("single-host /batch = %d", code)
+	}
+	if code := postJSON(t, tss[0], "/batch", req, &got); code != 200 {
+		t.Fatalf("sharded /batch = %d", code)
+	}
+	if got.CheckersRun != want.CheckersRun || got.CheckerErrors != want.CheckerErrors {
+		t.Fatalf("run=%d/%d errors=%d/%d", got.CheckersRun, want.CheckersRun, got.CheckerErrors, want.CheckerErrors)
+	}
+	if got.Results[1].Error == "" || want.Results[1].Error == "" {
+		t.Fatal("broken checker's per-entry error was lost")
+	}
+	for _, i := range []int{0, 2} {
+		sameScan(t, "batch entry", got.Results[i], want.Results[i])
+	}
+}
+
+// TestShardedChangesetConvergesFleetWide: a changeset committed on one
+// coordinator reaches every replica through the kcached generation feed
+// (publish + converge nudge), and post-commit scans are byte-identical
+// to a single host that applied the same changeset.
+func TestShardedChangesetConvergesFleetWide(t *testing.T) {
+	feed := shard.NewFeed(0)
+	feedTS := httptest.NewServer(feed.Handler())
+	t.Cleanup(feedTS.Close)
+	srvs, tss := newShardFleet(t, 3, feedTS.URL)
+	_, single := newTestServer(t)
+
+	f0 := srvs[0].inc.Codebase().Files()[0]
+	change := api.Change{Path: f0.Name, Source: minic.FormatFile(f0)}
+	body := api.ChangesetRequest{Changes: []api.Change{change}}
+	var cr api.ChangesetResponse
+	if code := postJSON(t, tss[0], "/changeset", body, &cr); code != 200 {
+		t.Fatalf("sharded /changeset = %d", code)
+	}
+	var single2 api.ChangesetResponse
+	if code := postJSON(t, single, "/changeset", body, &single2); code != 200 {
+		t.Fatalf("single-host /changeset = %d", code)
+	}
+
+	// The publish + nudge pipeline is asynchronous; peers must converge
+	// to the committed generation on their own.
+	deadline := time.Now().Add(5 * time.Second)
+	for _, srv := range srvs[1:] {
+		for srv.inc.Codebase().Generation() < cr.Generation {
+			if time.Now().After(deadline) {
+				t.Fatalf("peer stuck at generation %d, fleet committed %d",
+					srv.inc.Codebase().Generation(), cr.Generation)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if c := srvs[1].shard.converges.Load() + srvs[2].shard.converges.Load(); c == 0 {
+		t.Fatal("no peer replayed the feed")
+	}
+	if srvs[0].shard.feedPublishes.Load() == 0 {
+		t.Fatal("coordinator never published to the feed")
+	}
+
+	// Read-your-writes across the fleet: a min_generation scan through a
+	// DIFFERENT coordinator sees the commit, byte-identical to the
+	// single host.
+	req := api.ScanRequest{Checker: testChecker, MinGeneration: cr.Generation}
+	want := postScan(t, single, req)
+	sameScan(t, "post-changeset", postScan(t, tss[1], req), want)
+}
+
+// TestCostWeightedAdmission: the cost charge (checkers x files) sheds an
+// oversized concurrent request with 429, always admits when idle, and is
+// visible in /stats and /metrics.
+func TestCostWeightedAdmission(t *testing.T) {
+	a := newAdmission(4, 4, 0)
+	a.maxCost = 10
+
+	rec := httptest.NewRecorder()
+	release, ok := a.admitCost(rec, 8)
+	if !ok {
+		t.Fatal("first request shed by an empty gate")
+	}
+	rec2 := httptest.NewRecorder()
+	if _, ok := a.admitCost(rec2, 8); ok {
+		t.Fatal("over-budget concurrent request admitted")
+	}
+	if rec2.Code != 429 {
+		t.Fatalf("cost shed status = %d, want 429", rec2.Code)
+	}
+	if rec2.Header().Get("Retry-After") == "" {
+		t.Fatal("cost shed carries no Retry-After")
+	}
+	if !strings.Contains(rec2.Body.String(), api.ErrOverloaded) {
+		t.Fatalf("cost shed body = %s", rec2.Body.String())
+	}
+	if a.costShed.Load() != 1 {
+		t.Fatalf("costShed = %d, want 1", a.costShed.Load())
+	}
+	release()
+	release() // release is idempotent: a double call must not go negative
+
+	// Idle admits ANY cost: a request bigger than the whole budget must
+	// still be servable, just never concurrently with other work.
+	rec3 := httptest.NewRecorder()
+	bigRelease, ok := a.admitCost(rec3, 1000)
+	if !ok {
+		t.Fatal("idle gate shed an oversized request")
+	}
+	bigRelease()
+	if got := a.costOutstanding.Load(); got != 0 {
+		t.Fatalf("outstanding cost = %d after all releases, want 0", got)
+	}
+	snap := a.snapshot()
+	if snap.MaxCost != 10 || snap.CostShed != 1 || snap.CostWeight != 0 {
+		t.Fatalf("snapshot cost fields = %+v", snap)
+	}
+
+	// Service-level exposure: /stats carries the admission cost fields
+	// and /metrics the admission_cost_weight gauge.
+	read := newAdmission(2, 8, 0)
+	read.maxCost = 1 << 30
+	srv, ts := newTestServerWithAdmission(t, read)
+	srv.registerMetrics(obs.NewRegistry("kserve"))
+	postScan(t, ts, api.ScanRequest{Checker: testChecker})
+	st := getStats(t, ts)
+	if st.Admission == nil || st.Admission.MaxCost != 1<<30 {
+		t.Fatalf("/stats admission = %+v", st.Admission)
+	}
+	metrics := getMetrics(t, ts)
+	for _, name := range []string{"kserve_admission_cost_weight", "kserve_admission_cost_shed_total"} {
+		if !strings.Contains(metrics, name) {
+			t.Fatalf("/metrics missing %s", name)
+		}
+	}
+}
+
+// TestRequestCost: empty file list means the whole corpus.
+func TestRequestCost(t *testing.T) {
+	srv, _ := newTestServer(t)
+	n := len(srv.inc.Codebase().Files())
+	if got := srv.requestCost(1, nil); got != int64(n) {
+		t.Fatalf("requestCost(1, nil) = %d, want corpus size %d", got, n)
+	}
+	if got := srv.requestCost(5, nil); got != int64(5*n) {
+		t.Fatalf("requestCost(5, nil) = %d, want %d", got, 5*n)
+	}
+	if got := srv.requestCost(2, []string{"a.c", "b.c", "c.c"}); got != 6 {
+		t.Fatalf("requestCost(2, 3 files) = %d, want 6", got)
+	}
+	if got := srv.requestCost(0, []string{"a.c"}); got != 1 {
+		t.Fatalf("requestCost(0, 1 file) = %d, want 1 (floor)", got)
+	}
+}

@@ -103,6 +103,12 @@ type ScanRequest struct {
 	// timeline to the response — the same timeline the slow-request log
 	// prints, on demand.
 	IncludeTiming bool `json:"include_timing,omitempty"`
+	// ShardLocal marks a sub-scan inside a sharded fan-out: the serving
+	// replica must scan exactly Files on its local snapshot — no
+	// re-scattering — and include per-file cuts in the response so the
+	// coordinator can merge partials in global file order. Set by the
+	// scatter client, not by end clients.
+	ShardLocal bool `json:"shard_local,omitempty"`
 }
 
 // Report is one bug report on the wire.
@@ -158,6 +164,18 @@ type ScanResponse struct {
 	// response header too) and its per-stage span timeline.
 	TraceID string     `json:"trace_id,omitempty"`
 	Timing  []obs.Span `json:"timing,omitempty"`
+	// FileCuts is present only on shard-local sub-scan replies: for each
+	// requested file in request order, how many of the flat Reports and
+	// RuntimeErrs entries it contributed. The coordinator slices partials
+	// by these cuts to reassemble the global file order exactly.
+	FileCuts []FileCut `json:"file_cuts,omitempty"`
+}
+
+// FileCut is one file's contribution to a sub-scan reply's flat report
+// and runtime-error slices, in request file order.
+type FileCut struct {
+	Reports     int `json:"reports"`
+	RuntimeErrs int `json:"runtime_errs,omitempty"`
 }
 
 // BatchRequest is the POST /batch body: N checker revisions evaluated
@@ -184,6 +202,9 @@ type BatchRequest struct {
 	// IncludeTiming adds the request's trace id and stage timeline to
 	// the batch reply (one trace per HTTP request; entries share it).
 	IncludeTiming bool `json:"include_timing,omitempty"`
+	// ShardLocal marks a sub-batch inside a sharded fan-out, with the
+	// same contract as ScanRequest.ShardLocal.
+	ShardLocal bool `json:"shard_local,omitempty"`
 }
 
 // BatchResponse is the POST /batch reply: per-checker results in
@@ -294,6 +315,57 @@ type ChangesetStatus struct {
 	Error string `json:"error,omitempty"`
 }
 
+// FeedEntry is one fleet-wide changeset commit in the generation feed
+// a sharded fleet runs through kcached: the coordinator that committed
+// generation N publishes (N, changes); a shard that finds itself behind
+// pulls the entries it is missing and replays them in order.
+type FeedEntry struct {
+	Generation int64    `json:"generation"`
+	Changes    []Change `json:"changes"`
+}
+
+// FeedPage is the GET /feed?from=N reply: the retained entries with
+// generation > from, in ascending generation order.
+type FeedPage struct {
+	Entries []FeedEntry `json:"entries"`
+	// Latest is the highest generation ever published (0 = empty feed).
+	// A shard whose local generation is below Latest but whose gap is
+	// not covered by Entries (the feed evicted them) cannot converge
+	// from the feed alone.
+	Latest int64 `json:"latest"`
+}
+
+// ConvergeResponse is the POST /converge reply: the shard pulled the
+// generation feed and replayed every entry it was missing.
+type ConvergeResponse struct {
+	Generation int64 `json:"generation"`
+	// Applied counts feed entries replayed by this call.
+	Applied   int     `json:"applied"`
+	ElapsedMS float64 `json:"elapsed_ms"`
+}
+
+// ShardStats is the GET /stats view of the shard fan-out layer,
+// present only when the daemon runs sharded (-shard-count > 1).
+type ShardStats struct {
+	Index int      `json:"index"`
+	Count int      `json:"count"`
+	Peers []string `json:"peers"`
+	// Scatters counts coordinated fan-outs; Degraded counts scatters
+	// where at least one partition fell back to the local snapshot;
+	// Hedged counts sub-scans whose local hedge fired.
+	Scatters int64 `json:"scatters"`
+	Degraded int64 `json:"degraded_scatters"`
+	Hedged   int64 `json:"hedged_sub_scans"`
+	// SubScansServed counts shard-local sub-scans this replica answered
+	// for other coordinators; Converges counts feed replays.
+	SubScansServed int64 `json:"sub_scans_served"`
+	Converges      int64 `json:"converges"`
+	FeedPublishes  int64 `json:"feed_publishes"`
+	// PeerHealthy, indexed by shard, is each peer's last-observed
+	// scatter health (self is always true).
+	PeerHealthy []bool `json:"peer_healthy"`
+}
+
 // AdmissionStats is the GET /stats view of an admission gate.
 type AdmissionStats struct {
 	MaxInflight        int   `json:"max_inflight"`
@@ -307,6 +379,13 @@ type AdmissionStats struct {
 	// FairnessShed counts sheds caused by the per-client bound alone —
 	// requests that would have queued had another client sent them.
 	FairnessShed int64 `json:"fairness_shed"`
+	// MaxCost, when > 0, bounds the summed cost weight (checkers ×
+	// files) of admitted requests; CostWeight is the weight currently
+	// outstanding and CostShed counts requests shed by the cost bound
+	// alone (they had an inflight token but weighed too much).
+	MaxCost    int64 `json:"max_cost,omitempty"`
+	CostWeight int64 `json:"cost_weight"`
+	CostShed   int64 `json:"cost_shed,omitempty"`
 }
 
 // StatsResponse is the GET /stats reply.
@@ -341,6 +420,9 @@ type StatsResponse struct {
 	// changeset storms shed writes without ever shedding reads.
 	Admission      *AdmissionStats `json:"admission,omitempty"`
 	WriteAdmission *AdmissionStats `json:"write_admission,omitempty"`
+	// Shards is present only when the daemon runs sharded
+	// (-shard-count > 1): the fan-out layer's counters and peer health.
+	Shards *ShardStats `json:"shards,omitempty"`
 }
 
 // HealthzResponse is the GET /healthz reply.

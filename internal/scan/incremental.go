@@ -336,6 +336,7 @@ func (inc *Incremental) runFiles(snap *Snapshot, pinStart time.Time, files []int
 		}
 	}
 	u := 0
+	out.FileCuts = make([]FileCut, 0, len(files))
 	for _, i := range files {
 		fileRes := &engine.Result{}
 		for range snap.files[i].Funcs {
@@ -343,6 +344,7 @@ func (inc *Incremental) runFiles(snap *Snapshot, pinStart time.Time, files []int
 			out.FuncsScanned++
 			u++
 		}
+		repBefore, errBefore := len(out.Reports), len(out.RuntimeErrs)
 		out.RuntimeErrs = append(out.RuntimeErrs, fileRes.RuntimeErrs...)
 		for _, rep := range fileRes.Reports {
 			if opts.MaxReports > 0 && len(out.Reports) >= opts.MaxReports {
@@ -351,6 +353,10 @@ func (inc *Incremental) runFiles(snap *Snapshot, pinStart time.Time, files []int
 			}
 			out.Reports = append(out.Reports, rep)
 		}
+		out.FileCuts = append(out.FileCuts, FileCut{
+			Reports:     len(out.Reports) - repBefore,
+			RuntimeErrs: len(out.RuntimeErrs) - errBefore,
+		})
 	}
 	if timed {
 		stage(StageSerialize, mergeStart, time.Since(mergeStart), len(units))

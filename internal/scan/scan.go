@@ -192,6 +192,14 @@ type Result struct {
 	// computation of the same key instead of analyzing here (stores
 	// wrapped in store.NewCoalesced only). Always <= CacheMisses.
 	CacheCoalesced int
+	// FileCuts, parallel to the scanned file list, records how many
+	// reports and runtime errors each file contributed to the flat
+	// Reports and RuntimeErrs slices — the merge cursor a shard
+	// coordinator uses to interleave partials from several shards back
+	// into global file order (function-level scheduler only). Counts
+	// reflect what was actually appended, so a MaxReports truncation
+	// mid-file yields that file's partial count.
+	FileCuts []FileCut
 	// Generation is the snapshot generation the scan was pinned to at
 	// admission: every report in this result was computed against
 	// exactly that corpus state.
@@ -199,6 +207,13 @@ type Result struct {
 	// Elapsed is this scan's own wall time — for RunBatch entries, the
 	// individual checker's cost, not the whole batch's.
 	Elapsed time.Duration
+}
+
+// FileCut records one scanned file's contribution to a Result's flat
+// Reports and RuntimeErrs slices, in scan order.
+type FileCut struct {
+	Reports     int
+	RuntimeErrs int
 }
 
 // Run scans the whole codebase with the given checkers. The scan pins

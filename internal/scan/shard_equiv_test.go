@@ -1,0 +1,218 @@
+// Sharded-merge equivalence fuzzing. This lives in package scan_test
+// (not scan) because it drives internal/shard, which imports
+// internal/api, which imports scan — an in-package test would be an
+// import cycle. It is the sharded sibling of FuzzMutationEquivalence:
+// that harness proves arbitrary mutation interleavings leave the
+// incremental scheduler byte-identical to a cold scan; this one proves
+// that partitioning the same scan across shard owners — each a fully
+// independent replica with its own parse, its own cache, and its own
+// (identical) mutation history — and merging the partials is
+// byte-identical to the single-host scan, truncation included.
+package scan_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"knighter/internal/api"
+	"knighter/internal/checker"
+	"knighter/internal/ckdsl"
+	"knighter/internal/kernel"
+	"knighter/internal/minic"
+	"knighter/internal/scan"
+	"knighter/internal/shard"
+	"knighter/internal/store"
+)
+
+// The corpus template is generated once; every replica gets a clone
+// (sources are strings, so a fresh []*SourceFile is a full logical
+// copy) — replicas mutate their corpora in place, so they cannot share
+// one.
+var (
+	shardEquivOnce     sync.Once
+	shardEquivTemplate *kernel.Corpus
+)
+
+func shardEquivCorpus() *kernel.Corpus {
+	shardEquivOnce.Do(func() {
+		shardEquivTemplate = kernel.Generate(kernel.Config{Seed: 1, Scale: 0.02})
+	})
+	clone := *shardEquivTemplate
+	clone.Files = make([]*kernel.SourceFile, len(shardEquivTemplate.Files))
+	for i, sf := range shardEquivTemplate.Files {
+		cp := *sf
+		clone.Files[i] = &cp
+	}
+	return &clone
+}
+
+const shardEquivChecker = `
+checker shard_equiv {
+  bugtype "Null-Pointer-Dereference"
+  track aliases
+  source { call "kzalloc" yields nullable }
+  guard { nullcheck }
+  sink { deref unchecked }
+}
+`
+
+// shardReplica is one independent fleet member: its own parse of the
+// corpus and its own result store.
+type shardReplica struct {
+	cb  *scan.Codebase
+	inc *scan.Incremental
+}
+
+func newShardReplica(t *testing.T) *shardReplica {
+	t.Helper()
+	cb, err := scan.NewCodebase(shardEquivCorpus())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &shardReplica{cb: cb, inc: scan.NewIncremental(cb, store.NewMemory(0))}
+}
+
+func (r *shardReplica) fileIdx(t *testing.T, paths []string) []int {
+	t.Helper()
+	idx := make([]int, len(paths))
+	for i, p := range paths {
+		if idx[i] = r.cb.FileIndex(p); idx[i] < 0 {
+			t.Fatalf("unknown file %s", p)
+		}
+	}
+	return idx
+}
+
+// tweakChange patches one function of file f with an inert declaration
+// derived from variant — the same mutation shape FuzzMutationEquivalence
+// uses, expressed as a changeset op every replica can replay.
+func tweakChange(t *testing.T, f *minic.File, variant byte) (scan.Change, bool) {
+	t.Helper()
+	if len(f.Funcs) == 0 {
+		return scan.Change{}, false
+	}
+	fn := f.Funcs[int(variant)%len(f.Funcs)]
+	src := minic.FormatFunc(fn)
+	brace := strings.Index(src, "{")
+	if brace < 0 {
+		t.Fatalf("no body in rendered function %s", fn.Name)
+	}
+	src = src[:brace+1] + fmt.Sprintf("\n\tint sz_%d;", variant%16) + src[brace+1:]
+	return scan.Change{Path: f.Name, Func: fn.Name, Source: src}, true
+}
+
+// scanBytes strips the nondeterministic fields (timings, cache
+// counters, the merge-cursor cuts) and marshals the rest — the
+// byte-identity contract's surface.
+func scanBytes(t *testing.T, resp *api.ScanResponse) string {
+	t.Helper()
+	c := *resp
+	c.ElapsedMS = 0
+	c.Cache = api.CacheStats{}
+	c.FileCuts = nil
+	data, err := json.Marshal(&c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+// FuzzShardedScanEquivalence: an arbitrary interleaving of fleet-wide
+// changesets and per-replica cache warming must leave a partitioned
+// scatter/merge byte-identical to a single-host scan of the same
+// generation. Any partition-order mistake, cut-accounting slip, or
+// divergent truncation shows up as a byte diff.
+func FuzzShardedScanEquivalence(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0})
+	f.Add([]byte{1, 2, 3})
+	f.Add([]byte{3, 0, 0, 1, 5, 9, 2, 7})
+	f.Add([]byte{5, 1, 1, 0, 0, 2, 2, 4, 4, 8, 8})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sel := byte(0)
+		if len(data) > 0 {
+			sel, data = data[0], data[1:]
+		}
+		nShards := 2 + int(sel)%2 // 2 or 3 shard owners
+		maxReports := 0
+		if sel%2 == 1 {
+			maxReports = 4 // exercise mid-merge truncation equivalence
+		}
+
+		// replicas[0..nShards-1] are the shard owners; control is the
+		// single host every merge must match.
+		replicas := make([]*shardReplica, nShards)
+		for i := range replicas {
+			replicas[i] = newShardReplica(t)
+		}
+		control := newShardReplica(t)
+		ck := mustCompile(t)
+		cks := []checker.Checker{ck}
+
+		// Interleave up to 4 ops: each is a fleet-wide changeset (applied
+		// to every replica AND the control, like the generation feed
+		// replays it) optionally preceded by one replica warming part of
+		// its cache — so owners reach the final generation with
+		// DIFFERENT cache states, which the equivalence must not see.
+		for ops := 0; len(data) >= 2 && ops < 4; ops++ {
+			fileSel, variant := data[0], data[1]
+			data = data[2:]
+			files := control.cb.Files()
+			fi := int(fileSel) % len(files)
+			if variant%2 == 1 {
+				warm := replicas[int(variant)%nShards]
+				warm.inc.RunFiles([]int{fi % len(warm.cb.Files())}, cks, scan.Options{Workers: 1})
+			}
+			change, ok := tweakChange(t, files[fi], variant)
+			if !ok {
+				continue
+			}
+			for _, r := range append(append([]*shardReplica{}, replicas...), control) {
+				if _, err := r.inc.ApplyChangeset([]scan.Change{change}); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+
+		paths := make([]string, len(control.cb.Files()))
+		for i, cf := range control.cb.Files() {
+			paths[i] = cf.Name
+		}
+		ring := shard.Ring{Count: nShards}
+		parts := make([]*api.ScanResponse, nShards)
+		for s, part := range ring.Partition(paths) {
+			if len(part) == 0 {
+				continue
+			}
+			// Sub-scans run uncapped with cuts, exactly like a shard-local
+			// /scan; the cap is the coordinator's to apply mid-merge.
+			res := replicas[s].inc.RunFiles(replicas[s].fileIdx(t, part), cks, scan.Options{Workers: 1})
+			parts[s] = api.ScanResult("shard_equiv", res, true, true)
+		}
+		merged, err := shard.MergeScan("shard_equiv", paths, ring, parts, maxReports)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		res := control.inc.RunFiles(control.fileIdx(t, paths), cks,
+			scan.Options{Workers: 1, MaxReports: maxReports})
+		want := api.ScanResult("shard_equiv", res, true, false)
+		if got, wantB := scanBytes(t, merged), scanBytes(t, want); got != wantB {
+			t.Fatalf("sharded merge diverged from single host (%d shards, max_reports=%d):\nmerged: %s\nsingle: %s",
+				nShards, maxReports, got, wantB)
+		}
+	})
+}
+
+func mustCompile(t *testing.T) checker.Checker {
+	t.Helper()
+	ck, err := ckdsl.CompileSource(shardEquivChecker)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ck
+}

@@ -1,0 +1,397 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"knighter/internal/api"
+	"knighter/internal/obs"
+)
+
+// ClientIDHeader propagates the end client's identity on sub-requests,
+// so shard-side admission fairness charges the tenant, not the
+// coordinator.
+const ClientIDHeader = "X-Client-ID"
+
+// Config wires a Scatter: the partition ring, this replica's own shard
+// index, the peer base URLs (index-aligned with shards), and the
+// per-shard sub-request budget.
+type Config struct {
+	Ring Ring
+	// Self is this replica's shard index; its partition is always
+	// scanned locally.
+	Self int
+	// Peers are the shard base URLs in shard-index order
+	// (Peers[Self] names this replica and is never dialed).
+	Peers []string
+	// Timeout bounds each remote sub-request (default 60s). A shard
+	// that does not answer within it is treated as dead for this
+	// scatter and its partition falls back to the local snapshot.
+	Timeout time.Duration
+	// HedgeAfter, when > 0, starts a local-snapshot scan of a remote
+	// partition that has been outstanding this long, racing it against
+	// the straggler — first success wins, the loser is canceled.
+	HedgeAfter time.Duration
+	// Client is the HTTP client for sub-requests (default: a bounded
+	// transport).
+	Client *http.Client
+}
+
+// Hooks receives scatter-path observability events; any field may be
+// nil.
+type Hooks struct {
+	// FanoutDone fires once per shard per scatter with the partition's
+	// wall time (however it was served).
+	FanoutDone func(s int, d time.Duration)
+	// Degraded fires when a remote partition fell back to the local
+	// snapshot because the shard failed or timed out.
+	Degraded func(s int)
+	// Hedged fires when a partition's local hedge was started.
+	Hedged func(s int)
+	// PeerHealth fires whenever a sub-request to shard s completes,
+	// with the observed health.
+	PeerHealth func(s int, healthy bool)
+}
+
+// Local recomputes one partition's sub-responses on the coordinator's
+// own pinned snapshot — the fallback and hedge path. For a scan the
+// slice has one entry; for a batch, one per checker. Implementations
+// must honor ctx cancellation (a hedge that loses the race is
+// canceled).
+type Local func(ctx context.Context, files []string) ([]*api.ScanResponse, error)
+
+// Scatter fans scan work out across the shard fleet and gathers the
+// partials back. One Scatter lives for the daemon's lifetime.
+type Scatter struct {
+	cfg    Config
+	hooks  Hooks
+	client *http.Client
+	// peerOK[s] is shard s's last-observed health: flipped false when a
+	// sub-request to it fails, true again when one succeeds. Self stays
+	// true.
+	peerOK []atomic.Bool
+}
+
+// NewScatter builds a Scatter over cfg.
+func NewScatter(cfg Config, hooks Hooks) *Scatter {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 60 * time.Second
+	}
+	cl := cfg.Client
+	if cl == nil {
+		cl = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        32,
+			MaxIdleConnsPerHost: 8,
+			IdleConnTimeout:     90 * time.Second,
+		}}
+	}
+	sc := &Scatter{cfg: cfg, hooks: hooks, client: cl, peerOK: make([]atomic.Bool, cfg.Ring.Count)}
+	for i := range sc.peerOK {
+		sc.peerOK[i].Store(true)
+	}
+	return sc
+}
+
+// PeerHealth reports each shard's last-observed health, indexed by
+// shard (self is always true).
+func (sc *Scatter) PeerHealth() []bool {
+	out := make([]bool, len(sc.peerOK))
+	for i := range sc.peerOK {
+		out[i] = sc.peerOK[i].Load()
+	}
+	return out
+}
+
+// Info summarizes one scatter call.
+type Info struct {
+	// Shards is the number of non-empty partitions fanned out.
+	Shards int
+	// Degraded counts partitions that fell back to the local snapshot
+	// after their shard failed; Hedged counts local hedges started.
+	Degraded int
+	Hedged   int
+}
+
+// ScanJob is one coordinated /scan: the sub-request template (checker,
+// workers, timeout budget, min generation — Files and ShardLocal are
+// filled per shard), the compiled checker's display name, the full
+// ordered path list, and the local fallback.
+type ScanJob struct {
+	Req      api.ScanRequest
+	Name     string
+	Paths    []string
+	ClientID string
+	Local    Local
+}
+
+// Scan scatters job across the fleet and merges the partials into the
+// single-host response. MaxReports is applied after the merge (the
+// sub-requests run uncapped so no shard under-reports its partition).
+func (sc *Scatter) Scan(ctx context.Context, job ScanJob) (*api.ScanResponse, Info, error) {
+	remote := func(rctx context.Context, s int, files []string) ([]*api.ScanResponse, error) {
+		sub := job.Req
+		sub.Files = files
+		sub.ShardLocal = true
+		sub.MaxReports = 0
+		sub.IncludeTiming = false
+		var resp api.ScanResponse
+		if err := sc.post(rctx, s, "/scan", sub, job.ClientID, &resp); err != nil {
+			return nil, err
+		}
+		return []*api.ScanResponse{&resp}, nil
+	}
+	parts, info, err := sc.fanout(ctx, job.Paths, remote, job.Local)
+	if err != nil {
+		return nil, info, err
+	}
+	flat := make([]*api.ScanResponse, len(parts))
+	for s, p := range parts {
+		if p != nil {
+			flat[s] = p[0]
+		}
+	}
+	merged, err := MergeScan(job.Name, job.Paths, sc.cfg.Ring, flat, job.Req.MaxReports)
+	return merged, info, err
+}
+
+// BatchJob is one coordinated /batch over the checkers that compiled;
+// Names[i] labels Req.Checkers[i] in the merged responses.
+type BatchJob struct {
+	Req      api.BatchRequest
+	Names    []string
+	Paths    []string
+	ClientID string
+	Local    Local
+}
+
+// Batch scatters job and merges per-checker: result[i] is what a
+// single-host scan of checker i over Paths would have produced.
+func (sc *Scatter) Batch(ctx context.Context, job BatchJob) ([]*api.ScanResponse, Info, error) {
+	remote := func(rctx context.Context, s int, files []string) ([]*api.ScanResponse, error) {
+		sub := job.Req
+		sub.Files = files
+		sub.ShardLocal = true
+		sub.MaxReports = 0
+		sub.IncludeTiming = false
+		var resp api.BatchResponse
+		if err := sc.post(rctx, s, "/batch", sub, job.ClientID, &resp); err != nil {
+			return nil, err
+		}
+		if len(resp.Results) != len(job.Req.Checkers) {
+			return nil, fmt.Errorf("shard %d: %d batch entries for %d checkers", s, len(resp.Results), len(job.Req.Checkers))
+		}
+		for i, r := range resp.Results {
+			if r == nil || r.Error != "" {
+				return nil, fmt.Errorf("shard %d: batch entry %d failed remotely", s, i)
+			}
+		}
+		return resp.Results, nil
+	}
+	parts, info, err := sc.fanout(ctx, job.Paths, remote, job.Local)
+	if err != nil {
+		return nil, info, err
+	}
+	merged := make([]*api.ScanResponse, len(job.Req.Checkers))
+	for i := range job.Req.Checkers {
+		flat := make([]*api.ScanResponse, len(parts))
+		for s, p := range parts {
+			if p != nil {
+				flat[s] = p[i]
+			}
+		}
+		m, err := MergeScan(job.Names[i], job.Paths, sc.cfg.Ring, flat, job.Req.MaxReports)
+		if err != nil {
+			return nil, info, err
+		}
+		merged[i] = m
+	}
+	return merged, info, nil
+}
+
+// fanout runs every non-empty partition concurrently: self locally,
+// remote shards via remote() with timeout, hedging, and local fallback.
+// parts is indexed by shard.
+func (sc *Scatter) fanout(ctx context.Context, paths []string,
+	remote func(ctx context.Context, s int, files []string) ([]*api.ScanResponse, error),
+	local Local) ([][]*api.ScanResponse, Info, error) {
+
+	partitions := sc.cfg.Ring.Partition(paths)
+	parts := make([][]*api.ScanResponse, len(partitions))
+	errs := make([]error, len(partitions))
+	var degraded, hedged atomic.Int64
+	var info Info
+	tr := obs.TraceFrom(ctx)
+
+	var wg sync.WaitGroup
+	for s, files := range partitions {
+		if len(files) == 0 {
+			continue
+		}
+		info.Shards++
+		wg.Add(1)
+		go func(s int, files []string) {
+			defer wg.Done()
+			begin := time.Now()
+			defer func() {
+				d := time.Since(begin)
+				tr.Observe(fmt.Sprintf("shard_%d", s), begin, d, len(files))
+				if sc.hooks.FanoutDone != nil {
+					sc.hooks.FanoutDone(s, d)
+				}
+			}()
+			if s == sc.cfg.Self || s >= len(sc.cfg.Peers) || sc.cfg.Peers[s] == "" {
+				parts[s], errs[s] = local(ctx, files)
+				return
+			}
+			var h, d bool
+			parts[s], h, d, errs[s] = sc.runRemote(ctx, s, files, remote, local)
+			if h {
+				hedged.Add(1)
+				if sc.hooks.Hedged != nil {
+					sc.hooks.Hedged(s)
+				}
+			}
+			if d {
+				degraded.Add(1)
+				if sc.hooks.Degraded != nil {
+					sc.hooks.Degraded(s)
+				}
+			}
+		}(s, files)
+	}
+	wg.Wait()
+	info.Degraded = int(degraded.Load())
+	info.Hedged = int(hedged.Load())
+	for _, err := range errs {
+		if err != nil {
+			return nil, info, err
+		}
+	}
+	return parts, info, nil
+}
+
+// runRemote serves one remote partition: the sub-request races an
+// optional local hedge; a failed or timed-out sub-request falls back to
+// the local snapshot. Returns the partial plus whether a hedge started
+// and whether the partition degraded to local because the shard failed.
+func (sc *Scatter) runRemote(ctx context.Context, s int, files []string,
+	remote func(ctx context.Context, s int, files []string) ([]*api.ScanResponse, error),
+	local Local) (part []*api.ScanResponse, hedgeStarted, degradedToLocal bool, err error) {
+
+	type outcome struct {
+		part []*api.ScanResponse
+		err  error
+	}
+	rctx, rcancel := context.WithTimeout(ctx, sc.cfg.Timeout)
+	defer rcancel()
+	rch := make(chan outcome, 1)
+	go func() {
+		p, err := remote(rctx, s, files)
+		rch <- outcome{p, err}
+	}()
+
+	var hch chan outcome
+	var hcancel context.CancelFunc
+	var hedgeTimer <-chan time.Time
+	if sc.cfg.HedgeAfter > 0 {
+		hedgeTimer = time.After(sc.cfg.HedgeAfter)
+	}
+	defer func() {
+		if hcancel != nil {
+			hcancel()
+		}
+	}()
+	startHedge := func() {
+		var hctx context.Context
+		hctx, hcancel = context.WithCancel(ctx)
+		hch = make(chan outcome, 1)
+		hedgeStarted = true
+		go func() {
+			p, err := local(hctx, files)
+			hch <- outcome{p, err}
+		}()
+	}
+
+	remoteFailed := false
+	for {
+		select {
+		case o := <-rch:
+			if o.err == nil {
+				sc.peerOK[s].Store(true)
+				if sc.hooks.PeerHealth != nil {
+					sc.hooks.PeerHealth(s, true)
+				}
+				return o.part, hedgeStarted, false, nil
+			}
+			sc.peerOK[s].Store(false)
+			if sc.hooks.PeerHealth != nil {
+				sc.hooks.PeerHealth(s, false)
+			}
+			remoteFailed = true
+			rch = nil
+			if hch == nil {
+				// No hedge in flight: recompute the partition on the
+				// local snapshot now (slower, never wrong).
+				p, lerr := local(ctx, files)
+				return p, hedgeStarted, true, lerr
+			}
+		case <-hedgeTimer:
+			hedgeTimer = nil
+			startHedge()
+		case o := <-hch:
+			hch = nil
+			if o.err == nil {
+				// The hedge won. If the remote had already failed this is
+				// a degraded scatter; if it is merely slow, it is not —
+				// cancel it and move on.
+				rcancel()
+				return o.part, hedgeStarted, remoteFailed, nil
+			}
+			if remoteFailed {
+				return nil, hedgeStarted, true, fmt.Errorf("shard %d: remote and local fallback both failed: %w", s, o.err)
+			}
+			// Hedge failed but the remote is still in flight; keep
+			// waiting on it.
+		}
+	}
+}
+
+// post issues one sub-request to shard s and decodes a 2xx reply into
+// out. Any transport error or non-2xx status is a shard failure from
+// the scatter's point of view — including a 409 from a shard that
+// could not converge to the required generation in time, which the
+// local fallback (already at that generation) then covers.
+func (sc *Scatter) post(ctx context.Context, s int, path string, body any, clientID string, out any) error {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, sc.cfg.Peers[s]+path, bytes.NewReader(buf))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if tr := obs.TraceFrom(ctx); tr != nil && tr.ID != "" {
+		req.Header.Set(obs.TraceHeader, tr.ID)
+	}
+	if clientID != "" {
+		req.Header.Set(ClientIDHeader, clientID)
+	}
+	resp, err := sc.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return fmt.Errorf("shard %d: %s %s: %s", s, path, resp.Status, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
