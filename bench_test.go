@@ -481,6 +481,38 @@ func BenchmarkScanWarmInstrumented(b *testing.B) {
 	b.ReportMetric(float64(res.CacheHits), "cache-hits")
 }
 
+// BenchmarkScanWarmTraced is BenchmarkScanWarmCache with ONLY the
+// distributed-tracing layer on: a fresh per-request trace (span tree +
+// tail-sample bookkeeping) per iteration, offered to a trace store when
+// it completes — no metrics registry, no instrumented tiers, isolating
+// the tracing subsystem's own cost. The delta to BenchmarkScanWarmCache
+// is the tracing overhead on the hot warm-scan path, budgeted at
+// <= ~2%: child span ids derive from the root id and a counter (no
+// rand syscall per span), spans aggregate per stage rather than per
+// function, and the tail-sampling keep decision is one hash.
+func BenchmarkScanWarmTraced(b *testing.B) {
+	h, _, _ := setupBench(b)
+	ck := mustChecker(b, benchCacheDSL)
+	inc := scan.NewIncremental(h.Codebase, store.NewMemory(0))
+	ts := obs.NewTraceStore(512, 0.05, 0)
+	inc.RunOne(ck, scan.Options{}) // warm every entry
+	b.ResetTimer()
+	var res *scan.Result
+	for i := 0; i < b.N; i++ {
+		tr := obs.NewTraceFor("kserve", "", "")
+		ctx := obs.WithTrace(context.Background(), tr)
+		start := time.Now()
+		res = inc.RunOne(ck, scan.Options{Context: ctx})
+		elapsed := time.Since(start)
+		tr.CloseRoot("scan", "", elapsed)
+		ts.Add(tr, obs.TraceMeta{Route: "scan", Status: 200, Elapsed: elapsed})
+	}
+	if res.CacheMisses != 0 {
+		b.Fatalf("warm scan missed %d times", res.CacheMisses)
+	}
+	b.ReportMetric(float64(res.CacheHits), "cache-hits")
+}
+
 // stageObserverFunc adapts a function to scan.StageObserver.
 type stageObserverFunc func(stage string, d time.Duration)
 

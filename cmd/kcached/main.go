@@ -31,6 +31,8 @@
 //	POST /invalidate                {"func_hashes": [...]}
 //	POST /feed                      publish a fleet changeset commit
 //	GET  /feed?from=N               pull commits a shard missed
+//	GET  /trace/{id}                retained trace fragment (tail-sampled)
+//	GET  /traces?limit=N&slow=1     local trace index
 //	GET  /stats                     store + request counters
 //	GET  /metrics                   Prometheus text exposition
 //	GET  /healthz                   liveness
@@ -43,8 +45,11 @@
 // a shard that falls out of the retention window must be reseeded.
 //
 // Every request is access-logged with its X-Trace-Id (when the client —
-// a kserve replica's remote tier — sent one), so one trace id greps
-// across both daemons' logs.
+// a kserve replica's remote tier — sent one), and with tracing enabled
+// (-trace-retain) each request also records a span fragment attached
+// under the caller's X-Span-Id: a coordinating kserve's GET /trace/{id}
+// pulls those fragments into the assembled cross-host tree, so the
+// kcached leg of a slow scan shows up as spans, not as grep homework.
 package main
 
 import (
@@ -72,6 +77,9 @@ func main() {
 	cacheMaxBytes := flag.Int64("cache-max-bytes", 0, "disk byte budget; compaction evicts oldest-first past it (0 = unbounded)")
 	cacheBytes := flag.Int64("cache-bytes", store.DefaultMemoryBytes, "memory front-tier byte budget (0 = library default)")
 	feedCap := flag.Int("feed-cap", shard.DefaultFeedCap, "generation-feed retention (entries); shards further behind than this cannot converge from the feed")
+	traceRetain := flag.Int("trace-retain", 512, "completed trace fragments retained for GET /trace/{id} (0 disables tracing)")
+	traceSample := flag.Float64("trace-sample", 0.05, "probability of retaining an unremarkable trace; slow and errored traces are always retained")
+	traceSlow := flag.Duration("trace-slow", 250*time.Millisecond, "always retain traces of requests at least this slow (0 disables the slow class)")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6061); never exposed on the main port")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -114,6 +122,7 @@ func main() {
 		store.Instrument(reg, "memory", store.NewMemory(*cacheBytes)).SampleLatency(4),
 		store.Instrument(reg, "disk", disk))
 	cs := store.NewCacheServer(tier)
+	cs.EnableTracing(obs.NewTraceStore(*traceRetain, *traceSample, *traceSlow))
 	cs.Register(reg)
 	// The generation feed rides on the cache daemon because it is the
 	// one process every sharded replica already dials.

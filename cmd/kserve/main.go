@@ -64,6 +64,8 @@
 //	POST /changeset        {"changes": [{"path", "func?", "source"}, ...], "async": bool}
 //	GET  /changeset/status ?generation=N  async changeset outcome
 //	POST /converge         replay the generation feed to catch this shard up
+//	GET  /trace/{id}       assembled cross-host span tree (?format=text for a waterfall)
+//	GET  /traces           local tail-sampled trace index (?limit=N&slow=1)
 //	GET  /stats            cache + service + admission (+ shard) counters
 //	GET  /metrics          Prometheus exposition
 //	GET  /healthz          liveness
@@ -94,6 +96,7 @@ import (
 	"knighter/internal/kernel"
 	"knighter/internal/obs"
 	"knighter/internal/scan"
+	"knighter/internal/shard"
 	"knighter/internal/store"
 )
 
@@ -121,7 +124,9 @@ func main() {
 	shardTimeout := flag.Duration("shard-timeout", 60*time.Second, "per-shard sub-request budget before the partition falls back to the local snapshot")
 	shardHedge := flag.Duration("shard-hedge", 0, "start a local-snapshot hedge for a shard sub-request outstanding this long (0 = fall back only on failure)")
 	minGenWait := flag.Duration("min-gen-wait", 2*time.Second, "bounded wait for a request's min_generation before answering 409")
-	slowScan := flag.Duration("slow-scan", 0, "log a structured slow-request report (trace id + stage timeline) for requests slower than this (0 = off)")
+	slowScan := flag.Duration("slow-scan", 0, "log a structured slow-request report (trace id + stage timeline) for requests slower than this (0 = off); also the trace store's always-keep slow threshold")
+	traceRetain := flag.Int("trace-retain", 512, "completed traces retained for GET /trace/{id} (0 disables the trace store)")
+	traceSample := flag.Float64("trace-sample", 0.05, "probability of retaining an unremarkable trace; slow, errored, degraded, and hedge-win traces are always retained")
 	pprofAddr := flag.String("pprof-addr", "", "optional side listen address for net/http/pprof (e.g. localhost:6060); never exposed on the main port")
 	showVersion := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
@@ -204,6 +209,7 @@ func main() {
 	srv.funcTimeout = *funcTimeout
 	srv.slowScan = *slowScan
 	srv.minGenWait = *minGenWait
+	srv.traces = obs.NewTraceStore(*traceRetain, *traceSample, *slowScan)
 	read := newAdmission(*maxInflight, *maxQueued, *maxQueuedPerClient)
 	write := newAdmission(*maxInflightWrites, *maxQueuedWrites, *maxQueuedPerClient)
 	if read != nil {
@@ -229,6 +235,21 @@ func main() {
 		}
 		log.Printf("kserve: shard %d/%d, peers=%v", *shardIndex, *shardCount, peerList)
 	}
+	// The trace collector fans GET /trace/{id} out to everyone who may
+	// hold a fragment of a trace this replica coordinated: every shard
+	// peer (each sub-scan left a fragment on its owner) plus kcached.
+	var traceTargets []string
+	if sh := srv.shard; sh != nil {
+		for i, p := range sh.peers {
+			if i != sh.index && p != "" {
+				traceTargets = append(traceTargets, p)
+			}
+		}
+	}
+	if *cacheRemote != "" {
+		traceTargets = append(traceTargets, strings.TrimRight(*cacheRemote, "/"))
+	}
+	srv.traceColl = shard.NewTraceCollector(traceTargets, 2*time.Second)
 	srv.registerMetrics(reg)
 	if disk != nil {
 		// Compaction runs whenever the disk tier exists: even without a
@@ -335,6 +356,12 @@ type server struct {
 	// shard is the fleet fan-out layer (-shard-count > 1); nil on a
 	// single-host daemon, and every shard path nil-checks it.
 	shard *shardLayer
+	// traces is the tail-sampled trace store behind GET /trace/{id};
+	// nil (tracing disabled) is valid everywhere it is used.
+	traces *obs.TraceStore
+	// traceColl fans /trace/{id} out to shard peers and kcached; nil
+	// when there is no one else to ask (unsharded, no remote tier).
+	traceColl *shard.TraceCollector
 	// accessLog overrides the destination of per-request log lines
 	// (tests inject one; nil = the process logger).
 	accessLog *log.Logger
@@ -427,6 +454,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("/converge", s.withObs("converge", s.wadm.wrap(s.handleConverge)))
 	mux.HandleFunc("/patch", s.withObs("patch", s.wadm.wrap(s.handlePatch)))
 	mux.HandleFunc("/stats", s.handleStats)
+	// The trace endpoints stay outside the gates with /stats: they are
+	// the triage path, needed exactly when the daemon is drowning.
+	mux.HandleFunc("GET /trace/{id}", s.handleTrace)
+	mux.HandleFunc("GET /traces", s.handleTraces)
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		if s.metrics == nil {
@@ -592,7 +623,7 @@ func (s *server) handleScan(w http.ResponseWriter, r *http.Request) {
 	res := s.inc.RunFiles(files, []checker.Checker{ck},
 		s.scanOptions(r.Context(), req.MaxReports, req.Workers, req.FuncTimeoutMS))
 	s.scans.Add(1)
-	s.observeScan(res)
+	s.observeScan(r.Context(), res)
 	if res.Canceled {
 		s.scansCanceled.Add(1)
 	}
@@ -675,7 +706,7 @@ func (s *server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	agg := &scan.Result{}
 	for bi, res := range results {
 		resp.Results[live[bi]] = s.toScanResponse(cks[bi].Name(), res, req.IncludeTrace, req.ShardLocal)
-		s.observeScan(res)
+		s.observeScan(r.Context(), res)
 		resp.Generation = res.Generation
 		agg.CacheHits += res.CacheHits
 		agg.CacheMisses += res.CacheMisses
@@ -738,7 +769,7 @@ func (s *server) handlePatch(w http.ResponseWriter, r *http.Request) {
 	s.observeCommit(time.Since(start))
 	// A patch is a one-change commit to the fleet feed, so sharded peers
 	// converge on it the same way they do on changesets.
-	s.shardPublish(m.Generation, []api.Change{{Path: req.Path, Func: req.Func, Source: req.Source}})
+	s.shardPublish(r.Context(), m.Generation, []api.Change{{Path: req.Path, Func: req.Func, Source: req.Source}})
 	s.writeOK(w, m.Generation, &api.PatchResponse{
 		Path:             m.Path,
 		Mode:             mode,
@@ -792,7 +823,7 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 		a := s.inc.ApplyChangesetAsync(changes)
 		s.asyncChangesets.Add(1)
 		s.asyncLedger.record(a.Generation)
-		go s.settleAsync(a, start, req.Changes)
+		go s.settleAsync(context.WithoutCancel(r.Context()), a, start, req.Changes)
 		s.writeJSONGen(w, http.StatusAccepted, a.Generation, &api.ChangesetResponse{
 			Async:      true,
 			Status:     api.StatusPending,
@@ -813,7 +844,7 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 	}
 	s.changesets.Add(1)
 	s.observeCommit(time.Since(start))
-	s.shardPublish(cs.Generation, req.Changes)
+	s.shardPublish(r.Context(), cs.Generation, req.Changes)
 	resp := &api.ChangesetResponse{
 		Status:           api.StatusCommitted,
 		Ops:              cs.Ops,
@@ -833,7 +864,7 @@ func (s *server) handleChangeset(w http.ResponseWriter, r *http.Request) {
 // records the outcome in the ledger so /changeset/status can report it.
 // A committed changeset is also published to the fleet feed — only
 // then, so peers never replay a change the coordinator rejected.
-func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time, changes []api.Change) {
+func (s *server) settleAsync(ctx context.Context, a *scan.AsyncChangeset, start time.Time, changes []api.Change) {
 	cs, err := a.Result()
 	if err != nil {
 		s.scanErrors.Add(1)
@@ -846,7 +877,7 @@ func (s *server) settleAsync(a *scan.AsyncChangeset, start time.Time, changes []
 	}
 	s.changesets.Add(1)
 	s.observeCommit(time.Since(start))
-	s.shardPublish(cs.Generation, changes)
+	s.shardPublish(ctx, cs.Generation, changes)
 	st := &api.ChangesetStatus{
 		Generation:       cs.Generation,
 		Status:           api.StatusCommitted,
@@ -962,6 +993,8 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Admission:       s.adm.snapshot(),
 		WriteAdmission:  s.wadm.snapshot(),
 		Shards:          s.shardStats(),
+		TraceStore:      s.traces.Stats(),
+		ScanExemplars:   s.scanExemplars(),
 	})
 }
 
@@ -1044,9 +1077,14 @@ func (s *server) httpError(w http.ResponseWriter, code int, errCode, msg string)
 // with the admission gate (which sheds before it has a server handle).
 func writeErrorEnvelope(w http.ResponseWriter, code int, e *api.Error, gen int64) {
 	w.Header().Set(api.GenerationHeader, strconv.FormatInt(gen, 10))
+	// withObs stamps X-Trace-Id on the response header before the
+	// handler runs, so every error envelope — including admission sheds,
+	// which write through this path directly — carries the trace id the
+	// client can feed to GET /trace/{id}.
 	writeJSON(w, code, &api.ErrorResponse{
 		Err:         e,
 		LegacyError: e.Message,
 		Generation:  gen,
+		TraceID:     w.Header().Get(obs.TraceHeader),
 	})
 }

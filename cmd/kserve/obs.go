@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"log"
 	"net/http"
 	"time"
@@ -95,6 +96,12 @@ func (s *server) registerMetrics(reg *obs.Registry) {
 	s.adm.register(reg, "admission")
 	s.wadm.register(reg, "write_admission")
 	s.registerShardMetrics(reg)
+	s.traces.Register(reg)
+	if s.traces != nil {
+		reg.CounterFunc("trace_spans_dropped_total",
+			"Spans discarded by the per-trace span cap (process-wide).",
+			func() float64 { return float64(obs.DroppedSpansTotal()) })
+	}
 	obs.RegisterBuildInfo(reg, func() float64 { return time.Since(s.started).Seconds() })
 }
 
@@ -103,11 +110,18 @@ func (m *serverMetrics) ObserveStage(stage string, d time.Duration) {
 	m.stageDur.With(stage).Observe(d.Seconds())
 }
 
-// observeScan records one finished scan (no-op without metrics).
-func (s *server) observeScan(res *scan.Result) {
-	if s.metrics != nil {
-		s.metrics.scanDur.Observe(res.Elapsed.Seconds())
+// observeScan records one finished scan (no-op without metrics). The
+// request's trace id rides along as the scan histogram's exemplar, so a
+// bucket spike on the dashboard links straight to a retained trace.
+func (s *server) observeScan(ctx context.Context, res *scan.Result) {
+	if s.metrics == nil {
+		return
 	}
+	if tr := obs.TraceFrom(ctx); tr != nil {
+		s.metrics.scanDur.ObserveExemplar(res.Elapsed.Seconds(), tr.ID)
+		return
+	}
+	s.metrics.scanDur.Observe(res.Elapsed.Seconds())
 }
 
 // observeCommit records one committed corpus mutation — request arrival
@@ -126,34 +140,47 @@ func (s *server) observeGCSweep(d time.Duration) {
 }
 
 // withObs is the outermost per-request middleware: it mints the
-// request's trace (honoring an inbound X-Trace-Id so a caller — or a
-// test — can stitch kserve's and kcached's logs together), carries it
-// on the context where the scheduler and the remote tier pick it up,
-// records the HTTP-level metrics, writes the access log line, and emits
-// the slow-request report when the request outlives -slow-scan.
+// request's trace (honoring an inbound X-Trace-Id / X-Span-Id so a
+// coordinating peer's sub-scan joins the caller's span tree), carries
+// it on the context where the scheduler, the scatter fan-out, and the
+// remote tier pick it up, records the HTTP-level metrics, writes the
+// access log line, emits the slow-request report when the request
+// outlives -slow-scan, and offers the finished trace to the
+// tail-sampled trace store.
 //
 // It wraps OUTSIDE the admission gate so queue wait is part of the
 // request's measured life — the latency the client actually saw.
 func (s *server) withObs(route string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		tr := obs.NewTrace(r.Header.Get(obs.TraceHeader))
+		tr := obs.NewTraceFor(s.serviceName(), r.Header.Get(obs.TraceHeader), r.Header.Get(obs.SpanHeader))
 		w.Header().Set(obs.TraceHeader, tr.ID)
 		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
 		h(sw, r.WithContext(obs.WithTrace(r.Context(), tr)))
 		elapsed := time.Since(start)
 		if s.metrics != nil {
 			s.metrics.httpReqs.With(route, statusClass(sw.code)).Inc()
-			s.metrics.httpDur.With(route).Observe(elapsed.Seconds())
+			s.metrics.httpDur.With(route).ObserveExemplar(elapsed.Seconds(), tr.ID)
 		}
+		status := ""
+		if sw.code >= 400 {
+			status = statusClass(sw.code)
+		}
+		tr.CloseRoot(route, status, elapsed)
+		s.traces.Add(tr, obs.TraceMeta{
+			Route:   route,
+			Status:  sw.code,
+			Elapsed: elapsed,
+			Errored: sw.code >= 400,
+		})
 		s.logf("%s %s %d %dB %.3fms trace=%s",
 			r.Method, r.URL.Path, sw.code, sw.bytes,
 			float64(elapsed.Microseconds())/1000, tr.ID)
 		if s.slowScan > 0 && elapsed >= s.slowScan {
-			// The triage line: one grep for "slow request" yields the
-			// trace id plus the full stage timeline, so the operator can
-			// see WHERE the time went (queued? probing a sick remote
-			// tier? one checker's engine_eval?) without reproducing it.
+			// The triage line: the trace id here feeds straight into
+			// GET /trace/{id}, which returns the assembled cross-host
+			// span tree (this host's stages plus every shard's and
+			// kcached's fragments) — see README § Observability.
 			s.logf("slow request: route=%s trace=%s elapsed=%.1fms threshold=%s timeline=[%s]",
 				route, tr.ID, float64(elapsed.Microseconds())/1000, s.slowScan, tr)
 		}

@@ -197,7 +197,7 @@ func (s *server) scatterScan(w http.ResponseWriter, r *http.Request, req *api.Sc
 				return nil, err
 			}
 			res := s.inc.RunFilesAt(pin.Snapshot, idx, cks, s.scanOptions(ctx, 0, req.Workers, req.FuncTimeoutMS))
-			s.observeScan(res)
+			s.observeScan(ctx, res)
 			return []*api.ScanResponse{api.ScanResult(ck.Name(), res, req.IncludeTrace, true)}, nil
 		},
 	}
@@ -263,7 +263,7 @@ func (s *server) scatterBatch(w http.ResponseWriter, r *http.Request, req *api.B
 			for i, ck := range cks {
 				res := s.inc.RunFilesAt(pin.Snapshot, idx, []checker.Checker{ck},
 					s.scanOptions(ctx, 0, req.Workers, req.FuncTimeoutMS))
-				s.observeScan(res)
+				s.observeScan(ctx, res)
 				out[i] = api.ScanResult(ck.Name(), res, req.IncludeTrace, true)
 			}
 			return out, nil
@@ -409,17 +409,24 @@ func (s *server) handleConverge(w http.ResponseWriter, r *http.Request) {
 // are asynchronous and best-effort — the local commit already
 // succeeded, and a peer that misses the nudge converges lazily the
 // next time a sub-scan arrives with a min_generation it has not seen.
-func (s *server) shardPublish(gen int64, changes []api.Change) {
+// The mutation request's trace rides along on both legs (feed publish
+// and nudges propagate X-Trace-Id/X-Span-Id), so the assembled trace
+// of a changeset shows the fan-out it triggered.
+func (s *server) shardPublish(ctx context.Context, gen int64, changes []api.Change) {
 	sh := s.shard
 	if sh == nil || sh.feed == nil {
 		return
 	}
 	sh.feedPublishes.Add(1)
 	entry := api.FeedEntry{Generation: gen, Changes: changes}
+	tr := obs.TraceFrom(ctx)
 	go func() {
-		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		// Background-derived context: the legs outlive the request, but
+		// keep its trace so the downstream fragments join the same tree.
+		bctx := obs.WithTrace(context.Background(), tr)
+		pctx, cancel := context.WithTimeout(bctx, 5*time.Second)
 		defer cancel()
-		if err := sh.feed.Publish(ctx, entry); err != nil {
+		if err := sh.feed.Publish(pctx, entry); err != nil {
 			s.logf("feed publish generation %d: %v", gen, err)
 			return
 		}
@@ -428,7 +435,15 @@ func (s *server) shardPublish(gen int64, changes []api.Change) {
 				continue
 			}
 			go func(peer string) {
-				resp, err := sh.nudge.Post(peer+"/converge", "application/json", nil)
+				nctx, ncancel := context.WithTimeout(bctx, 5*time.Second)
+				defer ncancel()
+				req, err := http.NewRequestWithContext(nctx, http.MethodPost, peer+"/converge", nil)
+				if err != nil {
+					return
+				}
+				req.Header.Set("Content-Type", "application/json")
+				obs.InjectHeaders(nctx, req.Header)
+				resp, err := sh.nudge.Do(req)
 				if err != nil {
 					return
 				}

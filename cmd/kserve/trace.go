@@ -1,0 +1,91 @@
+package main
+
+import (
+	"net/http"
+	"strconv"
+
+	"knighter/internal/api"
+	"knighter/internal/obs"
+)
+
+// serviceName identifies this process in span trees: "kserve-<index>"
+// inside a sharded fleet (so the assembled trace shows WHICH replica
+// served each partition), plain "kserve" on a single host.
+func (s *server) serviceName() string {
+	if sh := s.shard; sh != nil {
+		return "kserve-" + strconv.Itoa(sh.index)
+	}
+	return "kserve"
+}
+
+// scanExemplars snapshots the scan-duration histogram's per-bucket
+// exemplar trace ids for /stats (nil without metrics).
+func (s *server) scanExemplars() map[string]string {
+	if s.metrics == nil {
+		return nil
+	}
+	return s.metrics.scanDur.Exemplars()
+}
+
+// handleTrace serves GET /trace/{id}: the cross-host assembled span
+// tree for one trace.
+//
+// Two forms share the route. ?local=1 returns this process's raw
+// fragment (the StoredTrace wire shape) and never fans out — it is what
+// peers ask each other, and the loop guard. The default form gathers:
+// this replica's own fragment plus, best-effort, every shard peer's and
+// kcached's (per-peer timeout; a dead or sampled-out peer contributes
+// nothing and the tree shows the gap as an orphan), then merges them
+// into one offset-ordered tree. ?format=text renders the waterfall
+// instead of JSON.
+func (s *server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if s.traces == nil {
+		s.httpError(w, http.StatusNotFound, api.ErrUnavailable, "tracing disabled (-trace-retain 0)")
+		return
+	}
+	local, _ := s.traces.Get(id)
+	if r.URL.Query().Get("local") == "1" {
+		if local == nil {
+			s.httpError(w, http.StatusNotFound, api.ErrNotFound, "trace not retained on this replica")
+			return
+		}
+		s.writeOK(w, s.inc.Codebase().Generation(), local)
+		return
+	}
+	frags := s.traceColl.Collect(r.Context(), id)
+	if local != nil {
+		frags = append([]*obs.StoredTrace{local}, frags...)
+	}
+	if len(frags) == 0 {
+		s.httpError(w, http.StatusNotFound, api.ErrNotFound,
+			"trace not retained anywhere reachable (sampled out, evicted, or never existed)")
+		return
+	}
+	asm := obs.AssembleTrace(id, frags)
+	if r.URL.Query().Get("format") == "text" {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(asm.Waterfall()))
+		return
+	}
+	s.writeOK(w, s.inc.Codebase().Generation(), asm)
+}
+
+// handleTraces serves GET /traces: the local retained-trace index,
+// newest first. ?limit=N bounds it (default 50); ?slow=1 restricts to
+// traces kept by the slow class — the "what was slow lately" triage
+// listing.
+func (s *server) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		s.httpError(w, http.StatusNotFound, api.ErrUnavailable, "tracing disabled (-trace-retain 0)")
+		return
+	}
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		if n, err := strconv.Atoi(v); err == nil {
+			limit = n
+		}
+	}
+	list := s.traces.List(limit, r.URL.Query().Get("slow") == "1")
+	s.writeOK(w, s.inc.Codebase().Generation(), &api.TraceListResponse{Traces: list})
+}

@@ -76,6 +76,11 @@ type ErrorResponse struct {
 	// Generation is the corpus generation at the time of the error —
 	// for ErrGenerationUnavailable, the generation the daemon is AT.
 	Generation int64 `json:"generation"`
+	// TraceID is the request's trace id — the same value as the
+	// X-Trace-Id response header, duplicated in the body so a client
+	// that only logs bodies can still feed GET /trace/{id}. Empty on
+	// paths that run outside the tracing middleware.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ScanRequest is the POST /scan body.
@@ -423,6 +428,20 @@ type StatsResponse struct {
 	// Shards is present only when the daemon runs sharded
 	// (-shard-count > 1): the fan-out layer's counters and peer health.
 	Shards *ShardStats `json:"shards,omitempty"`
+	// TraceStore is present when the daemon retains traces
+	// (-trace-retain > 0): the tail-sampling store's keep/sample/evict
+	// counters.
+	TraceStore *obs.TraceStoreStats `json:"trace_store,omitempty"`
+	// ScanExemplars maps scan-duration histogram bucket upper bounds to
+	// the trace id of the last scan that landed in each — the /stats
+	// twin of the /metrics # EXEMPLAR comments.
+	ScanExemplars map[string]string `json:"scan_exemplars,omitempty"`
+}
+
+// TraceListResponse is the GET /traces reply: the newest retained
+// traces in the local store, newest first.
+type TraceListResponse struct {
+	Traces []obs.TraceSummary `json:"traces"`
 }
 
 // HealthzResponse is the GET /healthz reply.

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// TraceNode is one span in an assembled cross-host tree, with its
+// children and its offset rebased onto the global (coordinator) clock.
+type TraceNode struct {
+	Span
+	// AbsOffsetMS is the span's start relative to the assembled root.
+	// Fragment roots are rebased to their parent span's offset rather
+	// than trusting cross-host clocks, so parent/child offsets are
+	// consistent by construction.
+	AbsOffsetMS float64      `json:"abs_offset_ms"`
+	Children    []*TraceNode `json:"children,omitempty"`
+}
+
+// AssembledTrace is the GET /trace/{id} reply: per-process fragments
+// merged into one rooted span tree.
+type AssembledTrace struct {
+	TraceID string `json:"trace_id"`
+	// Services lists every process that contributed a fragment, sorted.
+	Services  []string `json:"services"`
+	Fragments int      `json:"fragments"`
+	SpanCount int      `json:"span_count"`
+	// DroppedSpans sums the fragments' per-trace span-cap drops.
+	DroppedSpans int `json:"dropped_spans,omitempty"`
+	// DurMS is the root request's wall time.
+	DurMS float64    `json:"dur_ms"`
+	Root  *TraceNode `json:"root"`
+	// Orphans are subtrees whose parent span was not collected (its
+	// fragment was sampled out, evicted, or its host unreachable) —
+	// surfaced rather than dropped, since partial evidence still
+	// triages.
+	Orphans []*TraceNode `json:"orphans,omitempty"`
+}
+
+// AssembleTrace merges per-process fragments into one tree ordered by
+// offset. Fragment roots attach under the caller span named by their
+// ParentID; their offsets (and their descendants') are rebased so a
+// fragment root starts AT its parent span's offset — clock-skew-free,
+// at the cost of folding the network hop into the child's apparent
+// start.
+func AssembleTrace(id string, frags []*StoredTrace) *AssembledTrace {
+	out := &AssembledTrace{TraceID: id, Fragments: len(frags)}
+	nodes := map[string]*TraceNode{}
+	var all []*TraceNode
+	services := map[string]bool{}
+	for _, f := range frags {
+		if f == nil {
+			continue
+		}
+		if f.Service != "" {
+			services[f.Service] = true
+		}
+		out.DroppedSpans += f.DroppedSpans
+		for _, sp := range f.Spans {
+			if sp.SpanID != "" && nodes[sp.SpanID] != nil {
+				continue // same fragment collected twice (self + peer loop)
+			}
+			n := &TraceNode{Span: sp}
+			if sp.SpanID != "" {
+				nodes[sp.SpanID] = n
+			}
+			all = append(all, n)
+		}
+	}
+	out.SpanCount = len(all)
+	if len(all) == 0 {
+		return out
+	}
+
+	// Attach children; spans whose parent was not collected become
+	// orphan roots (the true root — empty ParentID — is one of them).
+	var roots []*TraceNode
+	for _, n := range all {
+		if n.ParentID != "" {
+			if p := nodes[n.ParentID]; p != nil && p != n {
+				p.Children = append(p.Children, n)
+				continue
+			}
+		}
+		roots = append(roots, n)
+	}
+	sort.SliceStable(roots, func(i, j int) bool {
+		// The origin (no inbound parent at all, marked Root) sorts
+		// first and becomes THE root; stray subtrees follow as orphans.
+		oi, oj := roots[i].ParentID == "" && roots[i].Root, roots[j].ParentID == "" && roots[j].Root
+		return oi && !oj
+	})
+	if roots[0].ParentID == "" && roots[0].Root {
+		out.Root = roots[0]
+		out.Orphans = roots[1:]
+	} else {
+		out.Orphans = roots
+	}
+
+	for _, r := range roots {
+		rebase(r, r.OffsetMS)
+	}
+	if out.Root != nil {
+		out.DurMS = out.Root.DurMS
+	}
+	for s := range services {
+		out.Services = append(out.Services, s)
+	}
+	sort.Strings(out.Services)
+	return out
+}
+
+// rebase assigns abs offsets depth-first: a fragment root starts AT its
+// parent span's absolute offset (its own OffsetMS is relative to a
+// different host's clock); an in-process span starts at its fragment's
+// anchor plus its recorded offset. Children are sorted by rebased
+// offset.
+func rebase(n *TraceNode, abs float64) {
+	n.AbsOffsetMS = abs
+	// anchor is where this node's fragment started on the global clock:
+	// for a fragment root that is its own abs; for an in-process span,
+	// its abs minus its fragment-relative offset.
+	anchor := abs
+	if !n.Root {
+		anchor = abs - n.OffsetMS
+	}
+	for _, c := range n.Children {
+		if c.Root {
+			rebase(c, abs)
+		} else {
+			rebase(c, anchor+c.OffsetMS)
+		}
+	}
+	sort.SliceStable(n.Children, func(i, j int) bool {
+		a, b := n.Children[i], n.Children[j]
+		if a.AbsOffsetMS != b.AbsOffsetMS {
+			return a.AbsOffsetMS < b.AbsOffsetMS
+		}
+		if a.Name != b.Name {
+			return a.Name < b.Name
+		}
+		return a.SpanID < b.SpanID
+	})
+}
+
+// Waterfall renders the tree as an indented text timeline — the
+// terminal-friendly view of the same JSON:
+//
+//	trace 4f00d3a2 — 3 services, 12 spans, 8.40ms
+//	   0.000  kserve-0 scan 8.400ms
+//	   0.012  ├─ snapshot_pin 0.010ms gen=3
+//	   0.100  ├─ shard_1 3.200ms/40 [degraded_local_fallback]
+//	   0.100  │  └─ kserve-1 scan 3.100ms
+func (a *AssembledTrace) Waterfall() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s — %d services, %d spans, %.2fms", a.TraceID, len(a.Services), a.SpanCount, a.DurMS)
+	if a.DroppedSpans > 0 {
+		fmt.Fprintf(&b, " (%d spans dropped by cap)", a.DroppedSpans)
+	}
+	b.WriteByte('\n')
+	if a.Root != nil {
+		writeNode(&b, a.Root, "", "")
+	}
+	if len(a.Orphans) > 0 {
+		b.WriteString("orphans (parent span not collected):\n")
+		for _, o := range a.Orphans {
+			writeNode(&b, o, "", "")
+		}
+	}
+	return b.String()
+}
+
+// writeNode renders one span line plus its subtree. prefix is the
+// accumulated tree indentation for this node's own line (ending in a
+// branch glyph); childBase is what the children's prefixes build on.
+func writeNode(b *strings.Builder, n *TraceNode, prefix, childBase string) {
+	fmt.Fprintf(b, "%8.3f  %s", n.AbsOffsetMS, prefix)
+	if n.Root && n.Service != "" {
+		fmt.Fprintf(b, "%s ", n.Service)
+	}
+	fmt.Fprintf(b, "%s %.3fms", n.Name, n.DurMS)
+	if n.Count > 0 {
+		fmt.Fprintf(b, "/%d", n.Count)
+	}
+	if n.Status != "" {
+		fmt.Fprintf(b, " [%s]", n.Status)
+	}
+	b.WriteByte('\n')
+	for i, c := range n.Children {
+		if i == len(n.Children)-1 {
+			writeNode(b, c, childBase+"└─ ", childBase+"   ")
+		} else {
+			writeNode(b, c, childBase+"├─ ", childBase+"│  ")
+		}
+	}
+}

@@ -108,13 +108,21 @@ type Histogram struct {
 	// +Inf bucket. Stored non-cumulative; exposition accumulates.
 	counts []atomic.Uint64
 	sum    atomicFloat
+	// exemplars[i] is the trace id of the LAST observation to land in
+	// bucket i (nil until one does) — the link from a latency bucket on
+	// a dashboard to an assembled trace on GET /trace/{id}.
+	exemplars []atomic.Pointer[string]
 }
 
 func newHistogram(buckets []float64) *Histogram {
 	bounds := make([]float64, len(buckets))
 	copy(bounds, buckets)
 	sort.Float64s(bounds)
-	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+	return &Histogram{
+		bounds:    bounds,
+		counts:    make([]atomic.Uint64, len(bounds)+1),
+		exemplars: make([]atomic.Pointer[string], len(bounds)+1),
+	}
 }
 
 // Observe records one value.
@@ -122,6 +130,37 @@ func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v)
 	h.counts[i].Add(1)
 	h.sum.Add(v)
+}
+
+// ObserveExemplar is Observe plus an exemplar: traceID becomes the
+// bucket's last-seen trace id, surfaced in /stats and as an # EXEMPLAR
+// exposition comment. An empty id degrades to plain Observe.
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i].Add(1)
+	h.sum.Add(v)
+	if traceID != "" {
+		h.exemplars[i].Store(&traceID)
+	}
+}
+
+// Exemplars returns the last trace id per bucket, keyed by the bucket's
+// le value as rendered in the exposition ("+Inf" for the overflow
+// bucket). Buckets without an exemplar are absent.
+func (h *Histogram) Exemplars() map[string]string {
+	out := map[string]string{}
+	for i := range h.exemplars {
+		id := h.exemplars[i].Load()
+		if id == nil || *id == "" {
+			continue
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		out[le] = *id
+	}
+	return out
 }
 
 // Count returns the total number of observations.
@@ -385,9 +424,11 @@ func (f *family) write(b *strings.Builder) {
 			for i, bound := range s.h.bounds {
 				cum += s.h.counts[i].Load()
 				fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labels, "le", bound), cum)
+				writeExemplar(b, f.name, labelString(f.labels, s.labels, "le", bound), s.h, i)
 			}
 			cum += s.h.counts[len(s.h.bounds)].Load()
 			fmt.Fprintf(b, "%s_bucket%s %d\n", f.name, labelString(f.labels, s.labels, "le", math.Inf(1)), cum)
+			writeExemplar(b, f.name, labelString(f.labels, s.labels, "le", math.Inf(1)), s.h, len(s.h.bounds))
 			fmt.Fprintf(b, "%s_sum%s %s\n", f.name, labelString(f.labels, s.labels, "", 0), formatFloat(s.h.Sum()))
 			fmt.Fprintf(b, "%s_count%s %d\n", f.name, labelString(f.labels, s.labels, "", 0), cum)
 		case f.kind == kindCounter:
@@ -396,6 +437,23 @@ func (f *family) write(b *strings.Builder) {
 			fmt.Fprintf(b, "%s%s %s\n", f.name, labelString(f.labels, s.labels, "", 0), formatFloat(s.g.Value()))
 		}
 	}
+}
+
+// writeExemplar emits the bucket's exemplar comment, if one was
+// recorded:
+//
+//	# EXEMPLAR name_bucket{...,le="0.5"} trace_id="4f00d3a2"
+//
+// A comment line keeps the payload inside the plain text-format grammar
+// (the OpenMetrics "# {}" syntax would break version=0.0.4 parsers);
+// CheckExposition validates the shape and that the referenced bucket
+// series exists.
+func writeExemplar(b *strings.Builder, name, labels string, h *Histogram, i int) {
+	id := h.exemplars[i].Load()
+	if id == nil || *id == "" {
+		return
+	}
+	fmt.Fprintf(b, "# EXEMPLAR %s_bucket%s trace_id=\"%s\"\n", name, labels, escapeLabel(*id))
 }
 
 // labelString renders {name="value",...}, appending an le label when

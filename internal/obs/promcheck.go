@@ -11,16 +11,36 @@ import (
 var promSeriesLine = regexp.MustCompile(
 	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
 
+// promExemplarLine matches an exemplar comment: the referenced series
+// identity (a _bucket series with its le label) plus the trace id.
+var promExemplarLine = regexp.MustCompile(
+	`^# EXEMPLAR ([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*"(?:,[a-zA-Z_][a-zA-Z0-9_]*="(?:\\.|[^"\\])*")*\})?) trace_id="(?:\\.|[^"\\])*"$`)
+
 // CheckExposition validates a Prometheus text-format payload: every
-// non-comment line must match the sample grammar, and no series
-// (name + label set) may appear twice. It returns the series identities
-// in order. Shared by the obs unit tests and the daemons' /metrics
-// tests, so both check the same grammar.
+// non-comment line must match the sample grammar, no series (name +
+// label set) may appear twice, and every # EXEMPLAR comment must match
+// the exemplar grammar AND reference a series already emitted (the
+// writer puts each exemplar directly after its bucket line). It returns
+// the series identities in order. Shared by the obs unit tests and the
+// daemons' /metrics tests, so both check the same grammar.
 func CheckExposition(text string) ([]string, error) {
 	var ids []string
 	seen := map[string]bool{}
 	for ln, line := range strings.Split(text, "\n") {
-		if line == "" || strings.HasPrefix(line, "#") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# EXEMPLAR ") {
+			m := promExemplarLine.FindStringSubmatch(line)
+			if m == nil {
+				return nil, fmt.Errorf("line %d does not match the exemplar grammar: %q", ln+1, line)
+			}
+			if !seen[m[1]] {
+				return nil, fmt.Errorf("line %d: exemplar references unknown series %q", ln+1, m[1])
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
 			continue
 		}
 		if !promSeriesLine.MatchString(line) {

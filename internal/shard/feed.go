@@ -156,9 +156,7 @@ func (c *FeedClient) Publish(ctx context.Context, e api.FeedEntry) error {
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tr := obs.TraceFrom(ctx); tr != nil && tr.ID != "" {
-		req.Header.Set(obs.TraceHeader, tr.ID)
-	}
+	obs.InjectHeaders(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return err
@@ -178,9 +176,7 @@ func (c *FeedClient) Since(ctx context.Context, from int64) (api.FeedPage, error
 	if err != nil {
 		return page, err
 	}
-	if tr := obs.TraceFrom(ctx); tr != nil && tr.ID != "" {
-		req.Header.Set(obs.TraceHeader, tr.ID)
-	}
+	obs.InjectHeaders(ctx, req.Header)
 	resp, err := c.client.Do(req)
 	if err != nil {
 		return page, err

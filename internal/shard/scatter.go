@@ -239,9 +239,15 @@ func (sc *Scatter) fanout(ctx context.Context, paths []string,
 		go func(s int, files []string) {
 			defer wg.Done()
 			begin := time.Now()
+			// Pre-mint the partition's span id so the sub-request can
+			// carry it as X-Span-Id while the span is still open — the
+			// shard owner's fragment then attaches under THIS span, not
+			// the coordinator's root.
+			sid := tr.NewChildSpanID()
+			status := ""
 			defer func() {
 				d := time.Since(begin)
-				tr.Observe(fmt.Sprintf("shard_%d", s), begin, d, len(files))
+				tr.ObserveWith(sid, fmt.Sprintf("shard_%d", s), status, begin, d, len(files))
 				if sc.hooks.FanoutDone != nil {
 					sc.hooks.FanoutDone(s, d)
 				}
@@ -250,8 +256,12 @@ func (sc *Scatter) fanout(ctx context.Context, paths []string,
 				parts[s], errs[s] = local(ctx, files)
 				return
 			}
-			var h, d bool
-			parts[s], h, d, errs[s] = sc.runRemote(ctx, s, files, remote, local)
+			rctx := ctx
+			if sid != "" {
+				rctx = obs.WithParentSpan(ctx, sid)
+			}
+			var h, hw, d bool
+			parts[s], h, hw, d, errs[s] = sc.runRemote(rctx, s, files, remote, local)
 			if h {
 				hedged.Add(1)
 				if sc.hooks.Hedged != nil {
@@ -259,10 +269,15 @@ func (sc *Scatter) fanout(ctx context.Context, paths []string,
 				}
 			}
 			if d {
+				status = obs.SpanDegraded
+				tr.MarkDegraded()
 				degraded.Add(1)
 				if sc.hooks.Degraded != nil {
 					sc.hooks.Degraded(s)
 				}
+			} else if hw {
+				status = obs.SpanHedgeWin
+				tr.MarkHedgeWin()
 			}
 		}(s, files)
 	}
@@ -279,11 +294,12 @@ func (sc *Scatter) fanout(ctx context.Context, paths []string,
 
 // runRemote serves one remote partition: the sub-request races an
 // optional local hedge; a failed or timed-out sub-request falls back to
-// the local snapshot. Returns the partial plus whether a hedge started
-// and whether the partition degraded to local because the shard failed.
+// the local snapshot. Returns the partial plus whether a hedge started,
+// whether the hedge's result won the race, and whether the partition
+// degraded to local because the shard failed.
 func (sc *Scatter) runRemote(ctx context.Context, s int, files []string,
 	remote func(ctx context.Context, s int, files []string) ([]*api.ScanResponse, error),
-	local Local) (part []*api.ScanResponse, hedgeStarted, degradedToLocal bool, err error) {
+	local Local) (part []*api.ScanResponse, hedgeStarted, hedgeWon, degradedToLocal bool, err error) {
 
 	type outcome struct {
 		part []*api.ScanResponse
@@ -328,7 +344,7 @@ func (sc *Scatter) runRemote(ctx context.Context, s int, files []string,
 				if sc.hooks.PeerHealth != nil {
 					sc.hooks.PeerHealth(s, true)
 				}
-				return o.part, hedgeStarted, false, nil
+				return o.part, hedgeStarted, false, false, nil
 			}
 			sc.peerOK[s].Store(false)
 			if sc.hooks.PeerHealth != nil {
@@ -340,7 +356,7 @@ func (sc *Scatter) runRemote(ctx context.Context, s int, files []string,
 				// No hedge in flight: recompute the partition on the
 				// local snapshot now (slower, never wrong).
 				p, lerr := local(ctx, files)
-				return p, hedgeStarted, true, lerr
+				return p, hedgeStarted, false, true, lerr
 			}
 		case <-hedgeTimer:
 			hedgeTimer = nil
@@ -352,10 +368,10 @@ func (sc *Scatter) runRemote(ctx context.Context, s int, files []string,
 				// a degraded scatter; if it is merely slow, it is not —
 				// cancel it and move on.
 				rcancel()
-				return o.part, hedgeStarted, remoteFailed, nil
+				return o.part, hedgeStarted, true, remoteFailed, nil
 			}
 			if remoteFailed {
-				return nil, hedgeStarted, true, fmt.Errorf("shard %d: remote and local fallback both failed: %w", s, o.err)
+				return nil, hedgeStarted, false, true, fmt.Errorf("shard %d: remote and local fallback both failed: %w", s, o.err)
 			}
 			// Hedge failed but the remote is still in flight; keep
 			// waiting on it.
@@ -378,9 +394,7 @@ func (sc *Scatter) post(ctx context.Context, s int, path string, body any, clien
 		return err
 	}
 	req.Header.Set("Content-Type", "application/json")
-	if tr := obs.TraceFrom(ctx); tr != nil && tr.ID != "" {
-		req.Header.Set(obs.TraceHeader, tr.ID)
-	}
+	obs.InjectHeaders(ctx, req.Header)
 	if clientID != "" {
 		req.Header.Set(ClientIDHeader, clientID)
 	}

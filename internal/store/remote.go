@@ -168,8 +168,9 @@ func (r *Remote) failure() {
 }
 
 // newRequest builds one round-trip's request, carrying the caller's
-// trace id (if any) so the kcached access log can be stitched to the
-// originating kserve request.
+// trace id and parent span id (if any) so the kcached access log — and
+// its trace-store fragment — can be stitched under the originating
+// kserve request's span tree.
 func (r *Remote) newRequest(ctx context.Context, method, url string, body io.Reader) (*http.Request, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -178,9 +179,7 @@ func (r *Remote) newRequest(ctx context.Context, method, url string, body io.Rea
 	if err != nil {
 		return nil, err
 	}
-	if tr := obs.TraceFrom(ctx); tr != nil {
-		req.Header.Set(obs.TraceHeader, tr.ID)
-	}
+	obs.InjectHeaders(ctx, req.Header)
 	return req, nil
 }
 

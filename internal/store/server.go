@@ -5,6 +5,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -47,12 +48,23 @@ type CacheServer struct {
 	entryReqs *obs.CounterVec
 	reqDur    *obs.HistogramVec
 	metrics   http.Handler
+
+	// traces, when EnableTracing was called, is the daemon's tail-sampled
+	// trace store: every request records a root-span fragment (attached
+	// under the caller's X-Span-Id) and GET /trace/{id} serves it back to
+	// a coordinating kserve. Requests sharing a trace id — a scan's many
+	// entry round-trips — merge into one fragment.
+	traces *obs.TraceStore
 }
 
 // NewCacheServer wraps st (typically a *Disk) in the HTTP protocol.
 func NewCacheServer(st Store) *CacheServer {
 	return &CacheServer{st: st, started: time.Now()}
 }
+
+// EnableTracing installs the daemon's trace store; call before Register
+// so the store's counters land on /metrics too.
+func (cs *CacheServer) EnableTracing(ts *obs.TraceStore) { cs.traces = ts }
 
 // Register wires the server's counters into reg and mounts reg's
 // exposition on GET /metrics (kcached calls this; tests may skip it).
@@ -73,6 +85,12 @@ func (cs *CacheServer) Register(reg *obs.Registry) {
 		func() float64 { return float64(cs.st.Stats().Entries) })
 	reg.GaugeFunc("store_bytes", "Serialized bytes of live entries in the backing store.",
 		func() float64 { return float64(cs.st.Stats().Bytes) })
+	cs.traces.Register(reg)
+	if cs.traces != nil {
+		reg.CounterFunc("trace_spans_dropped_total",
+			"Trace spans dropped by the per-trace span cap.",
+			func() float64 { return float64(obs.DroppedSpansTotal()) })
+	}
 	obs.RegisterBuildInfo(reg, func() float64 { return time.Since(cs.started).Seconds() })
 	cs.metrics = reg.Handler()
 }
@@ -83,6 +101,8 @@ func (cs *CacheServer) Handler() http.Handler {
 	mux.HandleFunc("GET /entry/{id}", cs.timed("get", cs.handleGet))
 	mux.HandleFunc("PUT /entry/{id}", cs.timed("put", cs.handlePut))
 	mux.HandleFunc("POST /invalidate", cs.timed("invalidate", cs.handleInvalidate))
+	mux.HandleFunc("GET /trace/{id}", cs.handleTrace)
+	mux.HandleFunc("GET /traces", cs.handleTraces)
 	mux.HandleFunc("GET /stats", cs.handleStats)
 	mux.HandleFunc("GET /healthz", cs.handleHealthz)
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
@@ -96,15 +116,70 @@ func (cs *CacheServer) Handler() http.Handler {
 }
 
 // timed wraps a handler with the per-op latency histogram (a no-op
-// until Register).
+// until Register) and, when tracing is enabled, a per-request trace
+// fragment: a root span named after the op, attached under the caller's
+// X-Span-Id, offered to the tail sampler when the request completes.
 func (cs *CacheServer) timed(op string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		h(w, r)
+		var tr *obs.Trace
+		sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+		if cs.traces != nil {
+			tr = obs.NewTraceFor("kcached", r.Header.Get(obs.TraceHeader), r.Header.Get(obs.SpanHeader))
+			w.Header().Set(obs.TraceHeader, tr.ID)
+			r = r.WithContext(obs.WithTrace(r.Context(), tr))
+		}
+		h(sw, r)
+		elapsed := time.Since(start)
 		if cs.reqDur != nil {
-			cs.reqDur.With(op).Observe(time.Since(start).Seconds())
+			if tr != nil {
+				cs.reqDur.With(op).ObserveExemplar(elapsed.Seconds(), tr.ID)
+			} else {
+				cs.reqDur.With(op).Observe(elapsed.Seconds())
+			}
+		}
+		if tr != nil {
+			status := ""
+			// An entry-get 404 is a miss, not a failure; anything else
+			// non-2xx is worth tagging on the span.
+			errored := sw.code >= 400 && !(op == "get" && sw.code == http.StatusNotFound)
+			if errored {
+				status = http.StatusText(sw.code)
+			}
+			tr.CloseRoot("kcached_"+op, status, elapsed)
+			cs.traces.Add(tr, obs.TraceMeta{Route: op, Status: sw.code, Elapsed: elapsed, Errored: errored})
 		}
 	}
+}
+
+// handleTrace serves one retained trace fragment. kcached never fans
+// out: it is always a leaf of the request tree, so the local store is
+// the whole answer (the ?local=1 form coordinators send is accepted and
+// identical).
+func (cs *CacheServer) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if cs.traces == nil {
+		http.Error(w, `{"error":"tracing disabled (-trace-retain 0)"}`, http.StatusNotFound)
+		return
+	}
+	st, ok := cs.traces.Get(r.PathValue("id"))
+	if !ok {
+		http.Error(w, `{"error":"trace not retained (sampled out or evicted?)"}`, http.StatusNotFound)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(st)
+}
+
+// handleTraces lists the local trace index: GET /traces?limit=N&slow=1.
+func (cs *CacheServer) handleTraces(w http.ResponseWriter, r *http.Request) {
+	if cs.traces == nil {
+		http.Error(w, `{"error":"tracing disabled (-trace-retain 0)"}`, http.StatusNotFound)
+		return
+	}
+	limit, _ := strconv.Atoi(r.URL.Query().Get("limit"))
+	slowOnly := r.URL.Query().Get("slow") != ""
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(map[string]any{"traces": cs.traces.List(limit, slowOnly)})
 }
 
 // countEntry records one entry-request outcome (no-op until Register).
@@ -246,6 +321,8 @@ type CacheServerStats struct {
 	Puts          int64   `json:"puts"`
 	Invalidates   int64   `json:"invalidates"`
 	BadRequests   int64   `json:"bad_requests"`
+	// TraceStore is present when tracing is enabled (EnableTracing).
+	TraceStore *obs.TraceStoreStats `json:"trace_store,omitempty"`
 }
 
 func (cs *CacheServer) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -259,6 +336,7 @@ func (cs *CacheServer) handleStats(w http.ResponseWriter, r *http.Request) {
 		Puts:          cs.puts.Load(),
 		Invalidates:   cs.invalidates.Load(),
 		BadRequests:   cs.badRequests.Load(),
+		TraceStore:    cs.traces.Stats(),
 	})
 }
 
